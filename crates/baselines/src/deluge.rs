@@ -1,0 +1,679 @@
+//! A Deluge-like dissemination protocol (Hui & Culler, SenSys'04).
+//!
+//! Deluge is the paper's primary comparison point. Shared machinery with
+//! MNP (noted in §5): advertise–request–data handshaking, an image divided
+//! into fixed-size pages, page pipelining, and a bit vector tracking loss
+//! within a page. The differences this implementation preserves:
+//!
+//! * **Trickle maintenance** — advertisements (summaries) are paced and
+//!   suppressed by a [`Trickle`] timer instead of MNP's sender-selection
+//!   competition.
+//! * **No sleeping** — "Deluge ... requires that radio is always on during
+//!   reprogramming. Therefore a node's idle listening time is the same as
+//!   the completion time." This is the crux of the paper's energy
+//!   comparison (C1 in DESIGN.md).
+//! * **No greedy sender choice** — a requester simply asks the summary
+//!   sender it heard; concurrent senders in one neighbourhood are possible
+//!   and produce the hidden-terminal collisions §5 discusses.
+
+use mnp_net::{Context, EepromOps, Protocol, WireMsg};
+use mnp_radio::NodeId;
+use mnp_sim::{SimDuration, SimTime};
+use mnp_storage::{ImageLayout, PacketStore, ProgramId, ProgramImage};
+use mnp_trace::MsgClass;
+
+use mnp::PacketBitmap;
+
+use crate::trickle::{Trickle, TrickleConfig};
+
+/// Deluge parameters.
+#[derive(Clone, Debug)]
+pub struct DelugeConfig {
+    /// The program being disseminated.
+    pub program: ProgramId,
+    /// Image layout (pages = segments).
+    pub layout: ImageLayout,
+    /// Checksum of the authoritative image, asserted on completion.
+    pub expected_checksum: u64,
+    /// Maintenance-plane Trickle parameters.
+    pub trickle: TrickleConfig,
+    /// Pacing between data packets.
+    pub data_packet_period: SimDuration,
+    /// Jitter on the pacing.
+    pub data_packet_jitter: SimDuration,
+    /// Random delay before sending a page request (request suppression
+    /// window).
+    pub request_delay_max: SimDuration,
+    /// How long a receiver waits for data before re-requesting.
+    pub rx_timeout: SimDuration,
+    /// Requests for one page before giving up back to maintenance.
+    pub max_requests: u8,
+}
+
+impl DelugeConfig {
+    /// Defaults matched to the MNP configuration so C1 compares protocols,
+    /// not parameters.
+    pub fn for_image(image: &ProgramImage) -> Self {
+        DelugeConfig {
+            program: image.id(),
+            layout: image.layout(),
+            expected_checksum: image.checksum(),
+            trickle: TrickleConfig::default(),
+            data_packet_period: SimDuration::from_millis(60),
+            data_packet_jitter: SimDuration::from_millis(20),
+            request_delay_max: SimDuration::from_millis(500),
+            rx_timeout: SimDuration::from_secs(4),
+            max_requests: 3,
+        }
+    }
+}
+
+/// Deluge's message set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DelugeMsg {
+    /// Maintenance summary: how many pages the sender holds.
+    Summary {
+        /// The advertising node.
+        source: NodeId,
+        /// Complete pages held (prefix count).
+        pages: u16,
+    },
+    /// NACK-style request for the missing packets of a page.
+    PageReq {
+        /// The summary sender being asked.
+        dest: NodeId,
+        /// The requesting node.
+        requester: NodeId,
+        /// Page wanted (the requester's prefix).
+        page: u16,
+        /// Missing packets within the page.
+        missing: PacketBitmap,
+    },
+    /// One code packet.
+    Data {
+        /// Page the packet belongs to.
+        page: u16,
+        /// Packet index within the page.
+        pkt: u16,
+        /// Code bytes.
+        payload: Vec<u8>,
+    },
+}
+
+impl WireMsg for DelugeMsg {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            DelugeMsg::Summary { .. } => 4,
+            DelugeMsg::PageReq { .. } => 22,
+            DelugeMsg::Data { payload, .. } => 3 + payload.len(),
+        }
+    }
+
+    fn class(&self) -> MsgClass {
+        match self {
+            DelugeMsg::Summary { .. } => MsgClass::Advertisement,
+            DelugeMsg::PageReq { .. } => MsgClass::Request,
+            DelugeMsg::Data { .. } => MsgClass::Data,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    Maintain,
+    Rx,
+    Tx,
+}
+
+const T_FIRE: u64 = 1;
+const T_INTERVAL_END: u64 = 2;
+const T_REQ_SEND: u64 = 3;
+const T_RX_TIMEOUT: u64 = 4;
+const T_TX_TICK: u64 = 5;
+
+/// Per-node Deluge counters for the harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DelugeStats {
+    /// Summaries transmitted.
+    pub summaries_sent: u64,
+    /// Summaries suppressed by Trickle.
+    pub summaries_suppressed: u64,
+    /// Page requests transmitted.
+    pub requests_sent: u64,
+    /// Requests suppressed after overhearing an identical one.
+    pub requests_suppressed: u64,
+    /// Pages served (Tx rounds).
+    pub tx_rounds: u64,
+}
+
+/// One node running the Deluge-like protocol.
+///
+/// # Example
+///
+/// ```
+/// use mnp_baselines::{Deluge, DelugeConfig};
+/// use mnp_net::{Network, NetworkBuilder};
+/// use mnp_radio::{LinkTable, NodeId};
+/// use mnp_sim::SimTime;
+/// use mnp_storage::{ImageLayout, ProgramId, ProgramImage};
+///
+/// let image = ProgramImage::synthetic(ProgramId(1), ImageLayout::paper_default(1));
+/// let cfg = DelugeConfig::for_image(&image);
+/// let mut links = LinkTable::new(2);
+/// links.connect(NodeId(0), NodeId(1), 0.0);
+/// links.connect(NodeId(1), NodeId(0), 0.0);
+/// let mut net: Network<Deluge> = NetworkBuilder::new(links, 3).build(|id, _| {
+///     if id == NodeId(0) {
+///         Deluge::base_station(cfg.clone(), &image)
+///     } else {
+///         Deluge::node(cfg.clone())
+///     }
+/// });
+/// assert!(net.run_until_all_complete(SimTime::from_secs(600)));
+/// ```
+#[derive(Debug)]
+pub struct Deluge {
+    cfg: DelugeConfig,
+    store: PacketStore,
+    is_base: bool,
+    completed: bool,
+    heard_any: bool,
+    state: State,
+    epoch: u64,
+    /// Separate sequence for maintenance-interval timers so Trickle resets
+    /// (which happen on every overheard transfer message) never invalidate
+    /// in-flight Rx/Tx timers.
+    interval: u64,
+    trickle: Trickle,
+
+    // Rx
+    rx_page: u16,
+    rx_missing: PacketBitmap,
+    rx_requests: u8,
+    rx_deadline: SimTime,
+    pending_req: Option<(NodeId, u16)>,
+    pending_suppressed: bool,
+
+    // Tx
+    tx_page: u16,
+    fwd: PacketBitmap,
+    cursor: u16,
+
+    /// Counters for the harness.
+    pub stats: DelugeStats,
+}
+
+impl Deluge {
+    /// Creates the base station holding the full image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` does not match the config.
+    pub fn base_station(cfg: DelugeConfig, image: &ProgramImage) -> Self {
+        assert_eq!(image.id(), cfg.program, "image/program mismatch");
+        assert_eq!(image.layout(), cfg.layout, "image/layout mismatch");
+        let mut store = PacketStore::new(cfg.program, cfg.layout);
+        for seg in 0..cfg.layout.segment_count() {
+            for pkt in 0..cfg.layout.packets_in_segment(seg) {
+                store
+                    .write_packet(seg, pkt, image.packet_payload(seg, pkt))
+                    .expect("fresh store");
+            }
+        }
+        store.line_writes = 0;
+        let mut d = Deluge::with_store(cfg, store);
+        d.is_base = true;
+        d.completed = true;
+        d
+    }
+
+    /// Creates an ordinary node with empty flash.
+    pub fn node(cfg: DelugeConfig) -> Self {
+        let store = PacketStore::new(cfg.program, cfg.layout);
+        Deluge::with_store(cfg, store)
+    }
+
+    fn with_store(cfg: DelugeConfig, store: PacketStore) -> Self {
+        let trickle = Trickle::new(cfg.trickle);
+        Deluge {
+            cfg,
+            store,
+            is_base: false,
+            completed: false,
+            heard_any: false,
+            state: State::Maintain,
+            epoch: 0,
+            interval: 0,
+            trickle,
+            rx_page: 0,
+            rx_missing: PacketBitmap::empty(),
+            rx_requests: 0,
+            rx_deadline: SimTime::ZERO,
+            pending_req: None,
+            pending_suppressed: false,
+            tx_page: 0,
+            fwd: PacketBitmap::empty(),
+            cursor: 0,
+            stats: DelugeStats::default(),
+        }
+    }
+
+    /// Whether the node holds the complete, checksum-verified image.
+    pub fn is_complete(&self) -> bool {
+        self.completed
+    }
+
+    /// The node's flash store (for test assertions).
+    pub fn store(&self) -> &PacketStore {
+        &self.store
+    }
+
+    fn token(&self, kind: u64) -> u64 {
+        let seq = if kind == T_FIRE || kind == T_INTERVAL_END {
+            self.interval
+        } else {
+            self.epoch
+        };
+        (seq << 8) | kind
+    }
+
+    fn decode(&self, token: u64) -> Option<u64> {
+        let kind = token & 0xff;
+        let seq = if kind == T_FIRE || kind == T_INTERVAL_END {
+            self.interval
+        } else {
+            self.epoch
+        };
+        (token >> 8 == seq).then_some(kind)
+    }
+
+    fn pages(&self) -> u16 {
+        self.store.segments_received_prefix()
+    }
+
+    fn missing_for(&self, page: u16) -> PacketBitmap {
+        let n = self.cfg.layout.packets_in_segment(page);
+        let mut bm = PacketBitmap::empty();
+        for pkt in 0..n {
+            if !self.store.has_packet(page, pkt) {
+                bm.set(pkt);
+            }
+        }
+        bm
+    }
+
+    fn begin_interval(&mut self, ctx: &mut Context<'_, DelugeMsg>) {
+        self.interval += 1;
+        let sched = self.trickle.begin_interval(ctx.rng);
+        ctx.set_timer(sched.fire_in, self.token(T_FIRE));
+        ctx.set_timer(sched.end_in, self.token(T_INTERVAL_END));
+    }
+
+    fn trickle_inconsistent(&mut self, ctx: &mut Context<'_, DelugeMsg>) {
+        if self.trickle.note_inconsistent() {
+            self.begin_interval(ctx);
+        }
+    }
+
+    fn enter_maintain(&mut self, ctx: &mut Context<'_, DelugeMsg>) {
+        self.epoch += 1;
+        self.state = State::Maintain;
+        self.pending_req = None;
+        self.pending_suppressed = false;
+        self.begin_interval(ctx);
+    }
+
+    fn store_data(
+        &mut self,
+        ctx: &mut Context<'_, DelugeMsg>,
+        from: NodeId,
+        page: u16,
+        pkt: u16,
+        payload: &[u8],
+    ) {
+        if page != self.pages() || self.completed || self.store.has_packet(page, pkt) {
+            return;
+        }
+        self.store
+            .write_packet(page, pkt, payload)
+            .expect("has_packet checked");
+        ctx.note_parent(from);
+        if self.state == State::Rx && page == self.rx_page {
+            self.rx_missing.clear(pkt);
+            self.rx_deadline = ctx.now + self.cfg.rx_timeout;
+            ctx.set_timer(self.cfg.rx_timeout, self.token(T_RX_TIMEOUT));
+        }
+        if self.store.segment_complete(page) {
+            if self.store.is_complete() {
+                assert_eq!(
+                    self.store.assembled_checksum(),
+                    self.cfg.expected_checksum,
+                    "accuracy violation in Deluge transfer"
+                );
+                self.completed = true;
+                ctx.note_completion();
+            }
+            // Page boundary: back to maintenance; the new summary is an
+            // inconsistency for neighbours still behind.
+            self.trickle.note_inconsistent();
+            self.enter_maintain(ctx);
+        }
+    }
+}
+
+impl Protocol for Deluge {
+    type Msg = DelugeMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, DelugeMsg>) {
+        if self.is_base {
+            ctx.note_completion();
+        }
+        self.begin_interval(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, DelugeMsg>, from: NodeId, msg: &DelugeMsg) {
+        match msg {
+            DelugeMsg::Summary { source, pages } => {
+                if !self.heard_any && *pages > 0 {
+                    self.heard_any = true;
+                    ctx.note_first_heard();
+                }
+                let mine = self.pages();
+                if *pages == mine {
+                    self.trickle.note_consistent();
+                } else {
+                    self.trickle_inconsistent(ctx);
+                    if *pages > mine && self.state == State::Maintain && self.pending_req.is_none()
+                    {
+                        // Ask for our next page after a suppression window.
+                        self.pending_req = Some((*source, mine));
+                        self.pending_suppressed = false;
+                        let delay = ctx
+                            .rng
+                            .duration_between(SimDuration::ZERO, self.cfg.request_delay_max);
+                        ctx.set_timer(delay, self.token(T_REQ_SEND));
+                    }
+                }
+            }
+            DelugeMsg::PageReq {
+                dest,
+                page,
+                missing,
+                ..
+            } => {
+                self.trickle_inconsistent(ctx);
+                // Overheard identical request: suppress our own pending one.
+                if let Some((_, want)) = self.pending_req {
+                    if *page == want {
+                        self.pending_suppressed = true;
+                    }
+                }
+                if *dest == ctx.id && *page < self.pages() {
+                    match self.state {
+                        State::Maintain => {
+                            self.epoch += 1;
+                            self.state = State::Tx;
+                            self.tx_page = *page;
+                            self.fwd = *missing;
+                            self.cursor = 0;
+                            self.stats.tx_rounds += 1;
+                            ctx.note_became_sender();
+                            let delay = ctx
+                                .rng
+                                .jittered(self.cfg.data_packet_period, self.cfg.data_packet_jitter);
+                            ctx.set_timer(delay, self.token(T_TX_TICK));
+                        }
+                        State::Tx if self.tx_page == *page => {
+                            self.fwd.union_with(missing);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            DelugeMsg::Data { page, pkt, payload } => {
+                self.trickle_inconsistent(ctx);
+                self.store_data(ctx, from, *page, *pkt, payload);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, DelugeMsg>, token: u64) {
+        let Some(kind) = self.decode(token) else {
+            return;
+        };
+        match kind {
+            T_FIRE => {
+                if self.state == State::Maintain {
+                    if self.trickle.should_fire() {
+                        ctx.send(DelugeMsg::Summary {
+                            source: ctx.id,
+                            pages: self.pages(),
+                        });
+                        self.stats.summaries_sent += 1;
+                    } else {
+                        self.stats.summaries_suppressed += 1;
+                    }
+                }
+            }
+            T_INTERVAL_END => {
+                self.trickle.end_interval();
+                self.begin_interval(ctx);
+            }
+            T_REQ_SEND => {
+                if self.state != State::Maintain {
+                    return;
+                }
+                let Some((dest, page)) = self.pending_req.take() else {
+                    return;
+                };
+                // Enter Rx either way; if suppressed we ride on the answer
+                // to the request we overheard.
+                self.epoch += 1;
+                self.state = State::Rx;
+                self.rx_page = page;
+                self.rx_missing = self.missing_for(page);
+                self.rx_requests = 1;
+                if self.pending_suppressed {
+                    self.stats.requests_suppressed += 1;
+                } else {
+                    ctx.send(DelugeMsg::PageReq {
+                        dest,
+                        requester: ctx.id,
+                        page,
+                        missing: self.rx_missing,
+                    });
+                    self.stats.requests_sent += 1;
+                }
+                self.pending_suppressed = false;
+                self.rx_deadline = ctx.now + self.cfg.rx_timeout;
+                ctx.set_timer(self.cfg.rx_timeout, self.token(T_RX_TIMEOUT));
+            }
+            T_RX_TIMEOUT => {
+                if self.state != State::Rx {
+                    return;
+                }
+                if ctx.now < self.rx_deadline {
+                    let remaining = self.rx_deadline.saturating_since(ctx.now);
+                    ctx.set_timer(remaining, self.token(T_RX_TIMEOUT));
+                    return;
+                }
+                if self.rx_requests < self.cfg.max_requests {
+                    // Re-request from anyone; we address the request to the
+                    // last parent if known, else broadcast-style to any
+                    // holder is not possible — give up to maintenance where
+                    // the next summary restarts the handshake.
+                    self.rx_requests += 1;
+                    self.enter_maintain(ctx);
+                } else {
+                    self.enter_maintain(ctx);
+                }
+            }
+            T_TX_TICK => {
+                if self.state != State::Tx {
+                    return;
+                }
+                let limit = self.cfg.layout.packets_in_segment(self.tx_page);
+                let next = self
+                    .fwd
+                    .first_set_at_or_after(self.cursor)
+                    .filter(|&p| p < limit)
+                    .or_else(|| self.fwd.first_set_at_or_after(0).filter(|&p| p < limit));
+                match next {
+                    Some(pkt) => {
+                        self.fwd.clear(pkt);
+                        self.cursor = pkt + 1;
+                        let payload = self
+                            .store
+                            .read_packet(self.tx_page, pkt)
+                            .expect("Tx node holds the page")
+                            .to_vec();
+                        ctx.send(DelugeMsg::Data {
+                            page: self.tx_page,
+                            pkt,
+                            payload,
+                        });
+                        let delay = ctx
+                            .rng
+                            .jittered(self.cfg.data_packet_period, self.cfg.data_packet_jitter);
+                        ctx.set_timer(delay, self.token(T_TX_TICK));
+                    }
+                    None => self.enter_maintain(ctx),
+                }
+            }
+            other => unreachable!("unknown timer kind {other}"),
+        }
+    }
+
+    fn eeprom_ops(&self) -> EepromOps {
+        EepromOps {
+            line_reads: self.store.line_reads,
+            line_writes: self.store.line_writes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnp_net::{Network, NetworkBuilder};
+    use mnp_radio::LinkTable;
+
+    fn image(segments: u16) -> ProgramImage {
+        ProgramImage::synthetic(ProgramId(1), ImageLayout::paper_default(segments))
+    }
+
+    fn line_links(n: usize, ber: f64) -> LinkTable {
+        let mut links = LinkTable::new(n);
+        for i in 0..n - 1 {
+            links.connect(NodeId::from_index(i), NodeId::from_index(i + 1), ber);
+            links.connect(NodeId::from_index(i + 1), NodeId::from_index(i), ber);
+        }
+        links
+    }
+
+    fn build(links: LinkTable, img: &ProgramImage, seed: u64) -> Network<Deluge> {
+        let cfg = DelugeConfig::for_image(img);
+        NetworkBuilder::new(links, seed).build(|id, _| {
+            if id == NodeId(0) {
+                Deluge::base_station(cfg.clone(), img)
+            } else {
+                Deluge::node(cfg.clone())
+            }
+        })
+    }
+
+    #[test]
+    fn single_hop_completes() {
+        let img = image(1);
+        let mut net = build(line_links(2, 0.0), &img, 3);
+        assert!(net.run_until_all_complete(SimTime::from_secs(600)));
+        assert_eq!(
+            net.protocol(NodeId(1)).store().assembled_checksum(),
+            img.checksum()
+        );
+    }
+
+    #[test]
+    fn multihop_line_completes_in_order() {
+        let img = image(2);
+        let mut net = build(line_links(4, 0.0), &img, 5);
+        assert!(net.run_until_all_complete(SimTime::from_secs(3_000)));
+        let t = net.trace();
+        let c1 = t.node(NodeId(1)).completion.unwrap();
+        let c3 = t.node(NodeId(3)).completion.unwrap();
+        assert!(c1 < c3, "hop 1 finishes before hop 3");
+    }
+
+    #[test]
+    fn lossy_links_still_deliver_exactly() {
+        let ber = 1.0 - 0.92f64.powf(1.0 / 376.0);
+        let img = image(1);
+        let mut net = build(line_links(3, ber), &img, 7);
+        assert!(net.run_until_all_complete(SimTime::from_secs(3_000)));
+        for i in 1..3 {
+            assert_eq!(
+                net.protocol(NodeId::from_index(i))
+                    .store()
+                    .assembled_checksum(),
+                img.checksum()
+            );
+        }
+    }
+
+    #[test]
+    fn radio_never_sleeps() {
+        let img = image(1);
+        let mut net = build(line_links(3, 0.0), &img, 9);
+        assert!(net.run_until_all_complete(SimTime::from_secs(600)));
+        let end = net.now();
+        for i in 0..3 {
+            let art = net.medium().active_radio_time(NodeId::from_index(i), end);
+            assert_eq!(
+                art,
+                end.saturating_since(SimTime::ZERO),
+                "Deluge keeps the radio on"
+            );
+        }
+    }
+
+    #[test]
+    fn trickle_suppression_reduces_summaries_in_dense_cell() {
+        // A 6-node clique at steady state: most summaries are suppressed.
+        let n = 6;
+        let mut links = LinkTable::new(n);
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    links.connect(NodeId::from_index(a), NodeId::from_index(b), 0.0);
+                }
+            }
+        }
+        let img = image(1);
+        let mut net = build(links, &img, 11);
+        assert!(net.run_until_all_complete(SimTime::from_secs(600)));
+        // Keep running a quiet steady-state stretch.
+        let until = net.now() + SimDuration::from_secs(300);
+        net.run_until(|_| false, until);
+        let (mut sent, mut suppressed) = (0, 0);
+        for i in 0..n {
+            let s = net.protocol(NodeId::from_index(i)).stats;
+            sent += s.summaries_sent;
+            suppressed += s.summaries_suppressed;
+        }
+        assert!(
+            suppressed > sent / 2,
+            "Trickle should suppress in a dense cell: sent {sent}, suppressed {suppressed}"
+        );
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let img = image(1);
+        let mut a = build(line_links(3, 0.001), &img, 13);
+        let mut b = build(line_links(3, 0.001), &img, 13);
+        a.run_until_all_complete(SimTime::from_secs(2_000));
+        b.run_until_all_complete(SimTime::from_secs(2_000));
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.events_processed(), b.events_processed());
+    }
+}

@@ -1,0 +1,16 @@
+//! A1-A4 — A1-A4: design-choice ablations (5x5/1 segment at bench scale).
+
+use criterion::Criterion;
+use mnp_bench::{sim_criterion, BENCH_SEED};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("ablation/regenerate", |b| {
+        b.iter(|| mnp_experiments::ablation::run_with(5, 1, BENCH_SEED))
+    });
+}
+
+fn main() {
+    let mut c = sim_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,16 @@
+//! X1 — X1: battery-aware sender selection (6x6 at bench scale).
+
+use criterion::Criterion;
+use mnp_bench::{sim_criterion, BENCH_SEED};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("battery/regenerate", |b| {
+        b.iter(|| mnp_experiments::battery::run_with(6, BENCH_SEED))
+    });
+}
+
+fn main() {
+    let mut c = sim_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,16 @@
+//! C1 — C1: MNP vs Deluge completion and active radio time. Bench scale: 8x8/1 segment; reproduce_all runs 20x20/2.
+
+use criterion::Criterion;
+use mnp_bench::{sim_criterion, BENCH_SEED};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("deluge_cmp/regenerate", |b| {
+        b.iter(|| mnp_experiments::deluge_cmp::run_with(8, 8, 1, BENCH_SEED))
+    });
+}
+
+fn main() {
+    let mut c = sim_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,16 @@
+//! C2 — C2: diagonal-vs-edge propagation. Bench scale: 8x8; reproduce_all runs 20x20.
+
+use criterion::Criterion;
+use mnp_bench::{sim_criterion, BENCH_SEED};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("diagonal/regenerate", |b| {
+        b.iter(|| mnp_experiments::diagonal::run_with(8, BENCH_SEED))
+    });
+}
+
+fn main() {
+    let mut c = sim_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

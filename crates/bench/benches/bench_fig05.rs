@@ -1,0 +1,16 @@
+//! F5 — Fig. 5: indoor 5x5 grid at power levels 9 and 3 (full scale).
+
+use criterion::Criterion;
+use mnp_bench::{sim_criterion, BENCH_SEED};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig05/regenerate", |b| {
+        b.iter(|| mnp_experiments::fig05::run(BENCH_SEED))
+    });
+}
+
+fn main() {
+    let mut c = sim_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

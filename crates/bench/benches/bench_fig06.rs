@@ -1,0 +1,16 @@
+//! F6 — Fig. 6: outdoor 7x7 grid at full power and power 50 (full scale).
+
+use criterion::Criterion;
+use mnp_bench::{sim_criterion, BENCH_SEED};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig06/regenerate", |b| {
+        b.iter(|| mnp_experiments::fig06::run(BENCH_SEED))
+    });
+}
+
+fn main() {
+    let mut c = sim_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,16 @@
+//! F7 — Fig. 7: outdoor 2x10 strip at full power and power 50 (full scale).
+
+use criterion::Criterion;
+use mnp_bench::{sim_criterion, BENCH_SEED};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig07/regenerate", |b| {
+        b.iter(|| mnp_experiments::fig07::run(BENCH_SEED))
+    });
+}
+
+fn main() {
+    let mut c = sim_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,16 @@
+//! F8/F9/F11/F12 — Figs. 8-9 (and the shared 11/12 run): active radio time distribution. Bench scale: 10x10 grid, 2 segments; reproduce_all runs 20x20/4.
+
+use criterion::Criterion;
+use mnp_bench::{sim_criterion, BENCH_SEED};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig08/regenerate", |b| {
+        b.iter(|| mnp_experiments::fig08::run_with(10, 10, 2, BENCH_SEED))
+    });
+}
+
+fn main() {
+    let mut c = sim_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,16 @@
+//! F10 — Fig. 10: completion/ART vs program size. Bench scale: 8x8 grid, 1-2 segments; reproduce_all sweeps 1-10 on 20x20.
+
+use criterion::Criterion;
+use mnp_bench::{sim_criterion, BENCH_SEED};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig10/regenerate", |b| {
+        b.iter(|| mnp_experiments::fig10::run_with(8, 8, &[1, 2], BENCH_SEED))
+    });
+}
+
+fn main() {
+    let mut c = sim_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

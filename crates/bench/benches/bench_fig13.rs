@@ -1,0 +1,16 @@
+//! F13 — Fig. 13: propagation snapshots. Bench scale: 8x8; reproduce_all runs 14x14.
+
+use criterion::Criterion;
+use mnp_bench::{sim_criterion, BENCH_SEED};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig13/regenerate", |b| {
+        b.iter(|| mnp_experiments::fig13::run_with(8, 8, BENCH_SEED))
+    });
+}
+
+fn main() {
+    let mut c = sim_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

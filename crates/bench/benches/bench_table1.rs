@@ -1,0 +1,23 @@
+//! T1 — Table 1: energy-model application cost.
+//!
+//! Benchmarks building the Table-1 report (constants + meter check); the
+//! table itself is printed by `reproduce_all`.
+
+use criterion::Criterion;
+use mnp_bench::sim_criterion;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table1/energy_meter", |b| {
+        b.iter(|| {
+            let t = mnp_experiments::table1::run();
+            assert!(t.example_total_nah > 0.0);
+            t
+        })
+    });
+}
+
+fn main() {
+    let mut c = sim_criterion();
+    bench(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,26 @@
+//! Benchmark support for the MNP reproduction.
+//!
+//! The real benchmark targets live in `benches/`, one per table/figure of
+//! the paper (see DESIGN.md's experiment index). Criterion measures the
+//! wall-clock cost of regenerating each artefact at a bench-friendly
+//! scale; the *full-scale* numbers for EXPERIMENTS.md come from
+//! `cargo run --release --example reproduce_all`.
+//!
+//! This library provides the tiny shared configuration they use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use criterion::Criterion;
+
+/// A Criterion instance tuned for whole-simulation benchmarks: few
+/// samples, generous measurement time.
+pub fn sim_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(12))
+        .warm_up_time(std::time::Duration::from_secs(2))
+}
+
+/// The seed every bench uses, so bench numbers are comparable run-to-run.
+pub const BENCH_SEED: u64 = 42;

@@ -1,0 +1,132 @@
+//! `mnp-run` — command-line driver for one dissemination run.
+//!
+//! ```text
+//! Usage: mnp-run [--rows N] [--cols N] [--spacing FT] [--segments N]
+//!                [--power LEVEL] [--seed N] [--protocol mnp|deluge]
+//!                [--capture] [--heatmap] [--parents]
+//! ```
+//!
+//! Prints the run summary (completion, active radio time, messages,
+//! collisions) and, on request, the ART heatmap and the parent map.
+
+use std::process::ExitCode;
+
+use mnp_experiments::GridExperiment;
+use mnp_radio::{NodeId, PowerLevel};
+use mnp_trace::{render_heatmap, render_parent_map};
+
+struct Args {
+    rows: usize,
+    cols: usize,
+    spacing: f64,
+    segments: u16,
+    power: u8,
+    seed: u64,
+    protocol: String,
+    capture: bool,
+    heatmap: bool,
+    parents: bool,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut args = Args {
+            rows: 10,
+            cols: 10,
+            spacing: 10.0,
+            segments: 2,
+            power: 255,
+            seed: 42,
+            protocol: "mnp".into(),
+            capture: false,
+            heatmap: false,
+            parents: false,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+            match flag.as_str() {
+                "--rows" => args.rows = parse(&value("--rows")?)?,
+                "--cols" => args.cols = parse(&value("--cols")?)?,
+                "--spacing" => args.spacing = parse(&value("--spacing")?)?,
+                "--segments" => args.segments = parse(&value("--segments")?)?,
+                "--power" => args.power = parse(&value("--power")?)?,
+                "--seed" => args.seed = parse(&value("--seed")?)?,
+                "--protocol" => args.protocol = value("--protocol")?,
+                "--capture" => args.capture = true,
+                "--heatmap" => args.heatmap = true,
+                "--parents" => args.parents = true,
+                "--help" | "-h" => return Err(USAGE.into()),
+                other => return Err(format!("unknown flag {other}\n{USAGE}")),
+            }
+        }
+        Ok(args)
+    }
+}
+
+const USAGE: &str = "Usage: mnp-run [--rows N] [--cols N] [--spacing FT] [--segments N]\n               [--power LEVEL] [--seed N] [--protocol mnp|deluge]\n               [--capture] [--heatmap] [--parents]";
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse().map_err(|e| format!("bad value {s:?}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = match Args::parse() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let scenario = GridExperiment::new(args.rows, args.cols, args.spacing)
+        .segments(args.segments)
+        .power(PowerLevel::new(args.power))
+        .seed(args.seed)
+        .capture(args.capture);
+
+    println!(
+        "{} | image {} | {} | seed {} | capture {}",
+        scenario.grid(),
+        scenario.image().layout(),
+        args.protocol,
+        args.seed,
+        args.capture
+    );
+
+    let out = match args.protocol.as_str() {
+        "mnp" => scenario.run_mnp(|_| {}),
+        "deluge" => scenario.run_deluge(|_| {}),
+        other => {
+            eprintln!("unknown protocol {other:?} (use mnp or deluge)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("{out}");
+    if args.heatmap {
+        println!("active radio time by location (dark = high):");
+        print!("{}", render_heatmap(args.rows, args.cols, &out.art_s));
+    }
+    if args.parents {
+        println!("parent map (arrows point toward the parent):");
+        print!(
+            "{}",
+            render_parent_map(args.rows, args.cols, 0, |i| {
+                out.trace
+                    .node(NodeId::from_index(i))
+                    .parent
+                    .map(|p| p.index())
+            })
+        );
+    }
+    if out.completed {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("dissemination did not complete before the deadline");
+        ExitCode::FAILURE
+    }
+}

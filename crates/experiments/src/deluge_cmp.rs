@@ -1,0 +1,123 @@
+//! C1: the §5 quantitative comparison with Deluge.
+//!
+//! "In contrast to MNP, Deluge ... requires that radio is always on during
+//! reprogramming. Therefore a node's idle listening time is the same as
+//! the completion time. ... MNP saves energy by turning off a node's radio
+//! when it is not supposed to transmit or receive." The paper's numbers:
+//! for a ~same-size image on a 20×20 grid, MNP's average active radio time
+//! is an order of magnitude below the completion time, while Deluge's
+//! equals it.
+
+use std::fmt;
+
+use mnp_sim::SimTime;
+
+use crate::runner::{GridExperiment, RunOutcome};
+
+/// One protocol's row in the comparison table.
+#[derive(Clone, Debug)]
+pub struct CmpRow {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Completion time (s).
+    pub completion_s: f64,
+    /// Mean active radio time (s).
+    pub art_s: f64,
+    /// Total messages sent.
+    pub messages: f64,
+    /// Whether the run completed.
+    pub completed: bool,
+}
+
+/// The comparison result.
+#[derive(Clone, Debug)]
+pub struct DelugeCmp {
+    /// Grid label.
+    pub label: String,
+    /// MNP and Deluge rows.
+    pub rows: Vec<CmpRow>,
+}
+
+/// Runs the paper-sized comparison: 20×20 grid, 2-segment (5.75 KB) image.
+pub fn run(seed: u64) -> DelugeCmp {
+    run_with(20, 20, 2, seed)
+}
+
+/// Runs a scaled variant.
+pub fn run_with(rows: usize, cols: usize, segments: u16, seed: u64) -> DelugeCmp {
+    let scenario = GridExperiment::new(rows, cols, 10.0)
+        .segments(segments)
+        .seed(seed)
+        .deadline(SimTime::from_secs(8 * 3_600));
+    let mnp = scenario.run_mnp(|_| {});
+    let deluge = scenario.run_deluge(|_| {});
+    DelugeCmp {
+        label: format!("{rows}x{cols} grid, {segments} segments"),
+        rows: vec![to_row("MNP", &mnp), to_row("Deluge-like", &deluge)],
+    }
+}
+
+fn to_row(name: &'static str, out: &RunOutcome) -> CmpRow {
+    CmpRow {
+        protocol: name,
+        completion_s: out.completion_s(),
+        art_s: out.mean_art_s(),
+        messages: out.total_sent(),
+        completed: out.completed,
+    }
+}
+
+impl DelugeCmp {
+    /// Ratio of Deluge's mean ART to MNP's (the headline energy claim).
+    pub fn art_ratio(&self) -> f64 {
+        self.rows[1].art_s / self.rows[0].art_s.max(1e-9)
+    }
+}
+
+impl fmt::Display for DelugeCmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== C1: MNP vs Deluge, {} ===", self.label)?;
+        writeln!(
+            f,
+            "protocol     completed  completion(s)  mean ART(s)  messages"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<12} {:>9} {:>14.0} {:>12.0} {:>9.0}",
+                r.protocol, r.completed, r.completion_s, r.art_s, r.messages
+            )?;
+        }
+        writeln!(
+            f,
+            "Deluge/MNP active-radio-time ratio: {:.1}x",
+            self.art_ratio()
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnp_spends_far_less_radio_time_than_deluge() {
+        let cmp = run_with(6, 6, 1, 51);
+        assert!(cmp.rows.iter().all(|r| r.completed), "{cmp}");
+        assert!(
+            cmp.art_ratio() > 1.5,
+            "MNP must beat always-on Deluge on ART: {cmp}"
+        );
+    }
+
+    #[test]
+    fn deluge_art_equals_its_completion_time() {
+        let cmp = run_with(5, 5, 1, 52);
+        let deluge = &cmp.rows[1];
+        assert!(
+            (deluge.art_s - deluge.completion_s).abs() < 1.0,
+            "always-on radio: {deluge:?}"
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Fig. 5: indoor experiments — 5×5 grid in a classroom at 3 ft spacing,
+//! "the lowest power levels (3 and 9)", 100-packet (2.3 KB) image.
+//!
+//! Reported per run: completion time, each node's parent and get-code
+//! time, and the order in which nodes became senders. The paper's
+//! observations to reproduce: at power 9 "most of the sensors receive code
+//! directly from the base station" with only a couple of extra senders; at
+//! power 3 more nodes must relay.
+
+use mnp_radio::PowerLevel;
+
+use crate::runner::{run_mote_figure, MoteFigure};
+
+/// Runs Fig. 5 at the paper's geometry.
+pub fn run(seed: u64) -> MoteFigure {
+    run_mote_figure(
+        "Fig 5: indoor 5x5 grid @ 3 ft, power levels 9 and 3",
+        5,
+        5,
+        3.0,
+        &[PowerLevel::new(9), PowerLevel::new(3)],
+        100,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_power_levels_complete_and_low_power_needs_more_senders() {
+        let fig = run(7);
+        assert_eq!(fig.runs.len(), 2);
+        for (_, out) in &fig.runs {
+            assert!(out.completed, "{out}");
+        }
+        let senders_p9 = fig.runs[0].1.trace.sender_order().len();
+        let senders_p3 = fig.runs[1].1.trace.sender_order().len();
+        // "When nodes are working at a lower power level, more nodes become
+        // senders, and each sender has a smaller group of followers."
+        assert!(
+            senders_p3 > senders_p9,
+            "power 3 should need more senders: {senders_p3} vs {senders_p9}"
+        );
+    }
+
+    #[test]
+    fn high_power_serves_most_nodes_directly_from_base() {
+        let fig = run(7);
+        let out = &fig.runs[0].1;
+        let direct = out
+            .trace
+            .iter()
+            .filter(|(_, s)| s.parent == Some(mnp_radio::NodeId(0)))
+            .count();
+        assert!(
+            direct >= 12,
+            "most of 24 non-base nodes should download from the base, got {direct}"
+        );
+    }
+}

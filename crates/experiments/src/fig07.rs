@@ -1,0 +1,57 @@
+//! Fig. 7: outdoor experiments — 2×10 grid (20 motes), full power and
+//! power 50, 100-packet image. "The purpose of using this 2×10 grid
+//! topology is to better examine multi-hop behavior."
+
+use mnp_radio::PowerLevel;
+
+use crate::runner::{run_mote_figure, MoteFigure};
+
+/// Runs Fig. 7. Outdoor spacing is reconstructed as 10 ft.
+pub fn run(seed: u64) -> MoteFigure {
+    run_mote_figure(
+        "Fig 7: outdoor 2x10 grid @ 10 ft, full power and power 50",
+        2,
+        10,
+        10.0,
+        &[PowerLevel::FULL, PowerLevel::new(50)],
+        100,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_strip_is_multihop_at_both_powers() {
+        let fig = run(13);
+        for (power, out) in &fig.runs {
+            assert!(out.completed, "{power}: {out}");
+            // The far end of the strip (column 9, 90 ft out) cannot hear
+            // the base directly even at full power (35 ft range), so at
+            // least one relay must have forwarded.
+            assert!(
+                !out.trace.sender_order().is_empty(),
+                "{power}: nobody forwarded"
+            );
+            let far = out.grid.node_at(1, 9);
+            assert_ne!(
+                out.trace.node(far).parent,
+                Some(out.grid.corner()),
+                "{power}: far end cannot download from the base directly"
+            );
+        }
+    }
+
+    #[test]
+    fn completion_propagates_down_the_strip() {
+        let fig = run(13);
+        let out = &fig.runs[0].1;
+        let near = out.grid.node_at(0, 1);
+        let far = out.grid.node_at(0, 9);
+        let t_near = out.trace.node(near).completion.unwrap();
+        let t_far = out.trace.node(far).completion.unwrap();
+        assert!(t_near < t_far, "wavefront moves outward");
+    }
+}

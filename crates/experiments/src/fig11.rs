@@ -1,0 +1,111 @@
+//! Fig. 11: transmission and reception distribution in the 20×20 network.
+//!
+//! "The number of messages sent by each node is low, on average 100
+//! messages ... The node sending the most number of messages is the base
+//! station ... In the reception distribution, the nodes in the center
+//! receive many more messages than the ones on the edge or at the corner."
+
+use std::fmt;
+
+use mnp_trace::{mean, render_heatmap};
+
+use crate::runner::RunOutcome;
+
+/// The Fig. 11 report, derived from the Fig. 8 run.
+#[derive(Clone, Debug)]
+pub struct Fig11<'a> {
+    /// The shared run.
+    pub outcome: &'a RunOutcome,
+}
+
+/// Builds the report over an existing run.
+pub fn report(outcome: &RunOutcome) -> Fig11<'_> {
+    Fig11 { outcome }
+}
+
+impl Fig11<'_> {
+    /// Mean messages sent per node.
+    pub fn mean_sent(&self) -> f64 {
+        mean(&self.outcome.sent)
+    }
+
+    /// The node that transmitted the most and its count.
+    pub fn top_sender(&self) -> (usize, f64) {
+        self.outcome
+            .sent
+            .iter()
+            .copied()
+            .enumerate()
+            .fold(
+                (0, f64::MIN),
+                |acc, (i, v)| if v > acc.1 { (i, v) } else { acc },
+            )
+    }
+
+    /// Mean receptions for interior vs edge nodes.
+    pub fn centre_vs_edge_received(&self) -> (f64, f64) {
+        let (mut centre, mut edge) = (Vec::new(), Vec::new());
+        for (id, _) in self.outcome.trace.iter() {
+            let v = self.outcome.received[id.index()];
+            if self.outcome.grid.is_edge(id) {
+                edge.push(v);
+            } else {
+                centre.push(v);
+            }
+        }
+        (mean(&centre), mean(&edge))
+    }
+}
+
+impl fmt::Display for Fig11<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.outcome;
+        writeln!(f, "=== Fig 11: tx/rx distribution, {} ===", o.grid)?;
+        let (top, count) = self.top_sender();
+        writeln!(
+            f,
+            "mean sent {:.0} msgs/node; top sender n{top} with {count:.0}",
+            self.mean_sent()
+        )?;
+        let (centre, edge) = self.centre_vs_edge_received();
+        writeln!(f, "mean received: centre {centre:.0} vs edge {edge:.0}")?;
+        writeln!(f, "transmissions by location:")?;
+        write!(
+            f,
+            "{}",
+            render_heatmap(o.grid.rows(), o.grid.cols(), &o.sent)
+        )?;
+        writeln!(f, "receptions by location:")?;
+        write!(
+            f,
+            "{}",
+            render_heatmap(o.grid.rows(), o.grid.cols(), &o.received)
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig08;
+
+    #[test]
+    fn base_station_sends_the_most() {
+        let fig = fig08::run_with(5, 5, 1, 21);
+        let r = report(&fig.outcome);
+        let (top, _) = r.top_sender();
+        assert_eq!(top, 0, "all data originates at the base station");
+    }
+
+    #[test]
+    fn centre_receives_more_than_edge() {
+        let fig = fig08::run_with(6, 6, 1, 22);
+        let r = report(&fig.outcome);
+        let (centre, edge) = r.centre_vs_edge_received();
+        assert!(
+            centre > edge,
+            "interior nodes hear more transmitters: centre {centre} vs edge {edge}"
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! X3: fail-stop resilience.
+//!
+//! The paper's loss-detection design anticipates dying senders ("the
+//! reason can be the sender dies as it is sending packets"); this
+//! experiment quantifies it: kill a growing fraction of nodes at random
+//! instants during reprogramming and measure survivor coverage and the
+//! completion-time penalty.
+
+use std::fmt;
+
+use mnp::{Mnp, MnpConfig};
+use mnp_net::{Network, NetworkBuilder};
+use mnp_radio::NodeId;
+use mnp_sim::{SimRng, SimTime};
+use mnp_storage::{ImageLayout, ProgramId, ProgramImage};
+use mnp_topology::{GridSpec, TopologyBuilder};
+
+/// One row: a kill fraction and what happened.
+#[derive(Clone, Copy, Debug)]
+pub struct ResilienceRow {
+    /// Fraction of non-base nodes killed.
+    pub kill_fraction: f64,
+    /// Nodes killed.
+    pub killed: usize,
+    /// Fraction of *survivors* that completed.
+    pub survivor_coverage: f64,
+    /// Completion time of the slowest completing survivor (s).
+    pub completion_s: f64,
+}
+
+/// The resilience sweep.
+#[derive(Clone, Debug)]
+pub struct Resilience {
+    /// Grid label.
+    pub label: String,
+    /// One row per kill fraction.
+    pub rows: Vec<ResilienceRow>,
+}
+
+/// Runs the paper-scale sweep: 10×10 grid, killing 0–20 % of nodes.
+pub fn run(seed: u64) -> Resilience {
+    run_with(10, &[0.0, 0.05, 0.10, 0.20], seed)
+}
+
+/// Runs on an `n×n` grid for each kill fraction.
+pub fn run_with(n: usize, fractions: &[f64], seed: u64) -> Resilience {
+    let grid = GridSpec::new(n, n, 10.0);
+    let image = ProgramImage::synthetic(ProgramId(1), ImageLayout::paper_default(1));
+    let cfg = MnpConfig::for_image(&image);
+    let rows = fractions
+        .iter()
+        .map(|&frac| {
+            let mut topo_rng = SimRng::new(seed).derive(0xdeadbeef);
+            let topo = TopologyBuilder::new(grid.placement()).build(&mut topo_rng);
+            let mut net: Network<Mnp> = NetworkBuilder::new(topo.links, seed).build(|id, _| {
+                if id == grid.corner() {
+                    Mnp::base_station(cfg.clone(), &image)
+                } else {
+                    Mnp::node(cfg.clone())
+                }
+            });
+            // Pick victims and death times deterministically.
+            let mut kill_rng = SimRng::new(seed).derive(0x6b11);
+            let total = n * n;
+            let kill_count = ((total - 1) as f64 * frac).round() as usize;
+            let mut victims = Vec::new();
+            while victims.len() < kill_count {
+                let v = NodeId::from_index(1 + kill_rng.index(total - 1));
+                if !victims.contains(&v) {
+                    victims.push(v);
+                }
+            }
+            for &v in &victims {
+                let at = SimTime::from_millis(kill_rng.range_u64(2_000, 60_000));
+                net.schedule_failure(v, at);
+            }
+            let survivors: Vec<NodeId> = grid.nodes().filter(|id| !victims.contains(id)).collect();
+            let done = net.run_until(
+                |net| survivors.iter().all(|&s| net.protocol(s).is_complete()),
+                SimTime::from_secs(2 * 3_600),
+            );
+            let completed = survivors
+                .iter()
+                .filter(|&&s| net.protocol(s).is_complete())
+                .count();
+            let completion = survivors
+                .iter()
+                .filter_map(|&s| net.trace().node(s).completion)
+                .max()
+                .unwrap_or_else(|| net.now());
+            let _ = done;
+            ResilienceRow {
+                kill_fraction: frac,
+                killed: kill_count,
+                survivor_coverage: completed as f64 / survivors.len() as f64,
+                completion_s: completion.as_secs_f64(),
+            }
+        })
+        .collect();
+    Resilience {
+        label: grid.to_string(),
+        rows,
+    }
+}
+
+impl fmt::Display for Resilience {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== X3: fail-stop resilience, {} ===", self.label)?;
+        writeln!(f, "killed%  killed  survivor-coverage  completion(s)")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>6.0}% {:>7} {:>17.1}% {:>14.0}",
+                r.kill_fraction * 100.0,
+                r.killed,
+                r.survivor_coverage * 100.0,
+                r.completion_s
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_failures_baseline_is_full_coverage() {
+        let r = run_with(5, &[0.0], 501);
+        assert_eq!(r.rows[0].killed, 0);
+        assert!((r.rows[0].survivor_coverage - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minority_failures_keep_survivor_coverage_high() {
+        let r = run_with(6, &[0.1], 502);
+        assert!(
+            r.rows[0].survivor_coverage > 0.9,
+            "a dense grid should route around 10% failures: {r}"
+        );
+    }
+}

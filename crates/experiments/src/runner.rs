@@ -1,0 +1,451 @@
+//! Shared experiment infrastructure: grid scenarios and run outcomes.
+
+use std::fmt;
+
+use mnp::{Mnp, MnpConfig};
+use mnp_baselines::{Deluge, DelugeConfig};
+use mnp_net::{Network, NetworkBuilder, Protocol};
+use mnp_radio::{NodeId, PowerLevel};
+use mnp_sim::{SimRng, SimTime};
+use mnp_storage::{ImageLayout, ProgramId, ProgramImage};
+use mnp_topology::{GridSpec, TopologyBuilder};
+use mnp_trace::{MsgClass, RunTrace};
+
+/// A grid dissemination scenario: the common shape of every experiment in
+/// the paper's §4.
+///
+/// # Example
+///
+/// ```
+/// use mnp_experiments::GridExperiment;
+///
+/// // A scaled-down smoke scenario.
+/// let out = GridExperiment::new(3, 3, 10.0).segments(1).seed(1).run_mnp(|_| {});
+/// assert!(out.completed);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GridExperiment {
+    rows: usize,
+    cols: usize,
+    spacing_ft: f64,
+    power: PowerLevel,
+    node_power: Vec<(NodeId, PowerLevel)>,
+    image: ProgramImage,
+    seed: u64,
+    deadline: SimTime,
+    base: NodeId,
+    capture: bool,
+}
+
+impl GridExperiment {
+    /// Starts a scenario over a `rows × cols` grid at `spacing_ft`, full
+    /// power, a 1-segment image, seed 42, base station at the corner.
+    pub fn new(rows: usize, cols: usize, spacing_ft: f64) -> Self {
+        GridExperiment {
+            rows,
+            cols,
+            spacing_ft,
+            power: PowerLevel::FULL,
+            node_power: Vec::new(),
+            image: ProgramImage::synthetic(ProgramId(1), ImageLayout::paper_default(1)),
+            seed: 42,
+            deadline: SimTime::from_secs(4 * 3_600),
+            base: NodeId(0),
+            capture: false,
+        }
+    }
+
+    /// Enables the radio capture effect (sensitivity experiment X4).
+    pub fn capture(mut self, capture: bool) -> Self {
+        self.capture = capture;
+        self
+    }
+
+    /// Sets the transmission power level of every node.
+    pub fn power(mut self, power: PowerLevel) -> Self {
+        self.power = power;
+        self
+    }
+
+    /// Overrides one node's power (battery-aware extension).
+    pub fn node_power(mut self, node: NodeId, power: PowerLevel) -> Self {
+        self.node_power.push((node, power));
+        self
+    }
+
+    /// Uses an image of `segments` full segments (the simulation sizing).
+    pub fn segments(mut self, segments: u16) -> Self {
+        self.image = ProgramImage::synthetic(ProgramId(1), ImageLayout::paper_default(segments));
+        self
+    }
+
+    /// Uses an image of exactly `packets` packets (the mote-experiment
+    /// sizing: 100 packets ≈ 2.3 KB).
+    pub fn packets(mut self, packets: u32) -> Self {
+        self.image = ProgramImage::synthetic(ProgramId(1), ImageLayout::from_packets(packets));
+        self
+    }
+
+    /// Sets the experiment seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the wall-clock simulation deadline.
+    pub fn deadline(mut self, deadline: SimTime) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// The grid spec of this scenario.
+    pub fn grid(&self) -> GridSpec {
+        GridSpec::new(self.rows, self.cols, self.spacing_ft)
+    }
+
+    /// The image under dissemination.
+    pub fn image(&self) -> &ProgramImage {
+        &self.image
+    }
+
+    /// Whether the topology this scenario would sample has a usable
+    /// bidirectional path from the base to every node. Experiments with
+    /// aggressive per-node power reductions (battery extension) check this
+    /// and reseed instead of running an impossible scenario.
+    pub fn is_viable(&self) -> bool {
+        let grid = self.grid();
+        let mut topo_rng = SimRng::new(self.seed).derive(0xdeadbeef);
+        let mut builder = TopologyBuilder::new(grid.placement()).power(self.power);
+        for (node, p) in &self.node_power {
+            builder = builder.node_power(*node, *p);
+        }
+        let topo = builder.build(&mut topo_rng);
+        topo.links
+            .reaches_all_usable(self.base, mnp_radio::loss::usable_ber_threshold())
+    }
+
+    /// Runs MNP over this scenario; `tweak` may adjust the protocol config
+    /// (ablations).
+    pub fn run_mnp(&self, tweak: impl Fn(&mut MnpConfig)) -> RunOutcome {
+        let mut cfg = MnpConfig::for_image(&self.image);
+        tweak(&mut cfg);
+        let base = self.base;
+        let image = self.image.clone();
+        let mut net = self.build_network(|id, _| {
+            if id == base {
+                Mnp::base_station(cfg.clone(), &image)
+            } else {
+                Mnp::node(cfg.clone())
+            }
+        });
+        let completed = net.run_until_all_complete(self.deadline);
+        let mut outcome = RunOutcome::collect(&mut net, self.grid(), completed);
+        // Protocol-specific counters.
+        for i in 0..net.len() {
+            let p = net.protocol(NodeId::from_index(i));
+            outcome.protocol_fails += p.stats.fails;
+            outcome.forward_rounds[i] = p.stats.forward_rounds;
+            outcome.sleeps += p.stats.sleeps;
+            if completed {
+                assert!(p.is_complete(), "coverage violation despite completion");
+            }
+        }
+        outcome
+    }
+
+    /// Runs the Deluge-like baseline over this scenario.
+    pub fn run_deluge(&self, tweak: impl Fn(&mut DelugeConfig)) -> RunOutcome {
+        let mut cfg = DelugeConfig::for_image(&self.image);
+        tweak(&mut cfg);
+        let base = self.base;
+        let image = self.image.clone();
+        let mut net = self.build_network(|id, _| {
+            if id == base {
+                Deluge::base_station(cfg.clone(), &image)
+            } else {
+                Deluge::node(cfg.clone())
+            }
+        });
+        let completed = net.run_until_all_complete(self.deadline);
+        RunOutcome::collect(&mut net, self.grid(), completed)
+    }
+
+    fn build_network<P, F>(&self, make: F) -> Network<P>
+    where
+        P: Protocol,
+        F: FnMut(NodeId, &mut SimRng) -> P,
+    {
+        let grid = self.grid();
+        let mut topo_rng = SimRng::new(self.seed).derive(0xdeadbeef);
+        let mut builder = TopologyBuilder::new(grid.placement()).power(self.power);
+        for (node, p) in &self.node_power {
+            builder = builder.node_power(*node, *p);
+        }
+        let topo = builder.build(&mut topo_rng);
+        assert!(
+            topo.links
+                .reaches_all_usable(self.base, mnp_radio::loss::usable_ber_threshold()),
+            "sampled topology has no usable bidirectional path to some node; \
+             coverage is impossible (reseed)"
+        );
+        NetworkBuilder::new(topo.links, self.seed)
+            .capture(self.capture)
+            .build(make)
+    }
+}
+
+/// Everything the figures need from one finished run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// The grid the run used.
+    pub grid: GridSpec,
+    /// Whether every node completed before the deadline.
+    pub completed: bool,
+    /// Completion time of the last node (or the deadline on failure).
+    pub completion: SimTime,
+    /// The full run trace.
+    pub trace: RunTrace,
+    /// Per-node active radio time in seconds.
+    pub art_s: Vec<f64>,
+    /// Per-node ART excluding initial idle listening, in seconds.
+    pub art_noidle_s: Vec<f64>,
+    /// Per-node messages sent.
+    pub sent: Vec<f64>,
+    /// Per-node messages received.
+    pub received: Vec<f64>,
+    /// Per-node collision counts (receptions lost to overlap).
+    pub collisions: u64,
+    /// Per-node forwarding rounds (MNP only; zero otherwise).
+    pub forward_rounds: Vec<u64>,
+    /// Total MNP download failures (MNP only).
+    pub protocol_fails: u64,
+    /// Total times nodes entered the sleep state (MNP only).
+    pub sleeps: u64,
+}
+
+impl RunOutcome {
+    fn collect<P: Protocol>(net: &mut Network<P>, grid: GridSpec, completed: bool) -> Self {
+        let completion = net.trace().completion_time().unwrap_or_else(|| net.now());
+        net.finalize_meters(completion);
+        let n = net.len();
+        let trace = net.trace().clone();
+        let art_s: Vec<f64> = (0..n)
+            .map(|i| trace.node(NodeId::from_index(i)).active_radio.as_secs_f64())
+            .collect();
+        let art_noidle_s: Vec<f64> = (0..n)
+            .map(|i| {
+                trace
+                    .node(NodeId::from_index(i))
+                    .active_radio_after_first_adv(completion)
+                    .as_secs_f64()
+            })
+            .collect();
+        let sent: Vec<f64> = (0..n)
+            .map(|i| trace.node(NodeId::from_index(i)).sent as f64)
+            .collect();
+        let received: Vec<f64> = (0..n)
+            .map(|i| trace.node(NodeId::from_index(i)).received as f64)
+            .collect();
+        let collisions = (0..n)
+            .map(|i| net.medium().stats(NodeId::from_index(i)).collisions)
+            .sum();
+        RunOutcome {
+            grid,
+            completed,
+            completion,
+            trace,
+            art_s,
+            art_noidle_s,
+            sent,
+            received,
+            collisions,
+            forward_rounds: vec![0; n],
+            protocol_fails: 0,
+            sleeps: 0,
+        }
+    }
+
+    /// Mean of a per-node series.
+    pub fn mean(values: &[f64]) -> f64 {
+        mnp_trace::mean(values)
+    }
+
+    /// Mean active radio time in seconds.
+    pub fn mean_art_s(&self) -> f64 {
+        mnp_trace::mean(&self.art_s)
+    }
+
+    /// Mean ART without initial idle listening, in seconds.
+    pub fn mean_art_noidle_s(&self) -> f64 {
+        mnp_trace::mean(&self.art_noidle_s)
+    }
+
+    /// Completion time in seconds.
+    pub fn completion_s(&self) -> f64 {
+        self.completion.as_secs_f64()
+    }
+
+    /// Total messages sent across the network.
+    pub fn total_sent(&self) -> f64 {
+        self.sent.iter().sum()
+    }
+
+    /// Totals per message class.
+    pub fn class_total(&self, class: MsgClass) -> u64 {
+        self.trace.windows().total(class)
+    }
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: completed={} in {:.0}s; mean ART {:.0}s ({:.0}s w/o initial idle); {} msgs, {} collisions",
+            self.grid,
+            self.completed,
+            self.completion_s(),
+            self.mean_art_s(),
+            self.mean_art_noidle_s(),
+            self.total_sent(),
+            self.collisions,
+        )
+    }
+}
+
+/// One mote-experiment figure (Figs. 5–7): the same grid run at two power
+/// levels, reporting each node's parent, get-code time, and the order in
+/// which nodes became senders.
+#[derive(Clone, Debug)]
+pub struct MoteFigure {
+    /// Figure label, e.g. "Fig 5 (indoor 5x5 grid @ 3 ft)".
+    pub label: String,
+    /// One run per power level, in the order given.
+    pub runs: Vec<(PowerLevel, RunOutcome)>,
+}
+
+/// Runs a Figs.-5–7 style mote experiment: `packets`-packet image, base at
+/// the corner, one run per power level.
+pub fn run_mote_figure(
+    label: &str,
+    rows: usize,
+    cols: usize,
+    spacing_ft: f64,
+    powers: &[PowerLevel],
+    packets: u32,
+    seed: u64,
+) -> MoteFigure {
+    let runs = powers
+        .iter()
+        .map(|&p| {
+            let out = GridExperiment::new(rows, cols, spacing_ft)
+                .power(p)
+                .packets(packets)
+                .seed(seed)
+                .run_mnp(|_| {});
+            (p, out)
+        })
+        .collect();
+    MoteFigure {
+        label: label.to_string(),
+        runs,
+    }
+}
+
+impl fmt::Display for MoteFigure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} ===", self.label)?;
+        for (power, out) in &self.runs {
+            writeln!(
+                f,
+                "--- {power}: completed={} time={}",
+                out.completed,
+                fmt_mmss(out.completion_s())
+            )?;
+            let order: Vec<String> = out
+                .trace
+                .sender_order()
+                .iter()
+                .map(|n| {
+                    let (r, c) = out.grid.coords(*n);
+                    format!("{n}({r},{c})")
+                })
+                .collect();
+            writeln!(f, "sender order: {}", order.join(" -> "))?;
+            writeln!(f, "parent map (arrows point toward the parent):")?;
+            write!(
+                f,
+                "{}",
+                mnp_trace::render_parent_map(
+                    out.grid.rows(),
+                    out.grid.cols(),
+                    out.grid.corner().index(),
+                    |i| out
+                        .trace
+                        .node(NodeId::from_index(i))
+                        .parent
+                        .map(|p| p.index()),
+                )
+            )?;
+            writeln!(f, "node (r,c)    parent  get-code time")?;
+            for (id, s) in out.trace.iter() {
+                let (r, c) = out.grid.coords(id);
+                let parent = s
+                    .parent
+                    .map(|p| p.to_string())
+                    .unwrap_or_else(|| "-".into());
+                let t = s
+                    .completion
+                    .map(|t| fmt_mmss(t.as_secs_f64()))
+                    .unwrap_or_else(|| "-".into());
+                writeln!(f, "{id:>5} ({r},{c})  {parent:>6}  {t:>7}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Formats seconds as `MM:SS` for the parent-map tables.
+pub fn fmt_mmss(secs: f64) -> String {
+    let s = secs.round() as u64;
+    format!("{}:{:02}", s / 60, s % 60)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_grid_mnp_completes_and_reports() {
+        let out = GridExperiment::new(3, 3, 10.0).seed(5).run_mnp(|_| {});
+        assert!(out.completed);
+        assert!(out.completion_s() > 0.0);
+        assert_eq!(out.art_s.len(), 9);
+        assert!(out.mean_art_s() > 0.0);
+        // The base forwarded at least once.
+        assert!(out.forward_rounds[0] >= 1);
+    }
+
+    #[test]
+    fn small_grid_deluge_completes() {
+        let out = GridExperiment::new(3, 3, 10.0).seed(5).run_deluge(|_| {});
+        assert!(out.completed);
+        // Deluge never sleeps: everyone's ART equals the completion time.
+        for art in &out.art_s {
+            assert!((art - out.completion_s()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let out = GridExperiment::new(2, 2, 10.0).seed(3).run_mnp(|_| {});
+        let s = out.to_string();
+        assert!(s.contains("completed=true"), "{s}");
+    }
+
+    #[test]
+    fn fmt_mmss_formats() {
+        assert_eq!(fmt_mmss(0.0), "0:00");
+        assert_eq!(fmt_mmss(61.4), "1:01");
+        assert_eq!(fmt_mmss(600.0), "10:00");
+    }
+}

@@ -1,0 +1,97 @@
+//! Table 1: "Power required by various Mica operations".
+//!
+//! The constants themselves are inputs (reproduced from Mainwaring et al.,
+//! WSNA'02); this module prints the table and validates that the energy
+//! meter applies them correctly.
+
+use std::fmt;
+
+use mnp_energy::{EnergyMeter, OperationCosts};
+use mnp_sim::SimDuration;
+
+/// The rendered Table 1 plus a meter self-check.
+#[derive(Clone, Debug)]
+pub struct Table1 {
+    /// The operation costs (Table 1 rows).
+    pub costs: OperationCosts,
+    /// A worked example: charge of a node that sent and received 100
+    /// packets with 60 s of radio-on time.
+    pub example_total_nah: f64,
+}
+
+/// Builds Table 1.
+pub fn run() -> Table1 {
+    let costs = OperationCosts::MICA2;
+    let mut meter = EnergyMeter::new();
+    for _ in 0..100 {
+        meter.record_tx(SimDuration::from_millis(20));
+        meter.record_rx(SimDuration::from_millis(20));
+    }
+    meter.set_active_radio(SimDuration::from_secs(60));
+    Table1 {
+        costs,
+        example_total_nah: meter.breakdown(&costs).total_nah(),
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "=== Table 1: Power required by various Mica operations ==="
+        )?;
+        writeln!(f, "Operation                        nAh")?;
+        writeln!(
+            f,
+            "Transmitting a packet         {:>7.3}",
+            self.costs.tx_packet_nah
+        )?;
+        writeln!(
+            f,
+            "Receiving a packet            {:>7.3}",
+            self.costs.rx_packet_nah
+        )?;
+        writeln!(
+            f,
+            "Idle listening for 1 ms       {:>7.3}",
+            self.costs.idle_listen_ms_nah
+        )?;
+        writeln!(
+            f,
+            "EEPROM Read Data              {:>7.3}",
+            self.costs.eeprom_read_nah
+        )?;
+        writeln!(
+            f,
+            "EEPROM Write Data             {:>7.3}",
+            self.costs.eeprom_write_nah
+        )?;
+        writeln!(
+            f,
+            "(check: 100 tx + 100 rx + 60 s radio-on = {:.0} nAh)",
+            self.example_total_nah
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_prints_all_rows() {
+        let t = run().to_string();
+        for needle in ["Transmitting", "Receiving", "Idle listening", "EEPROM"] {
+            assert!(t.contains(needle), "missing row {needle}");
+        }
+    }
+
+    #[test]
+    fn worked_example_matches_hand_calculation() {
+        let t = run();
+        // 100·20 + 100·8 + (60 000 ms − 4 000 ms on-air)·1.25
+        let expect = 2_000.0 + 800.0 + 56_000.0 * 1.25;
+        assert!((t.example_total_nah - expect).abs() < 1e-6);
+    }
+}

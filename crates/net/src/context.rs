@@ -1,0 +1,128 @@
+//! The per-callback effect context handed to protocols.
+
+use mnp_radio::NodeId;
+use mnp_sim::{SimDuration, SimRng, SimTime};
+
+/// Deferred effects collected during one protocol callback.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Op<M> {
+    Send(M),
+    Timer(SimDuration, u64),
+    Sleep(SimDuration),
+    Complete,
+    Parent(NodeId),
+    BecameSender,
+    FirstHeard,
+}
+
+/// The interface through which a [`Protocol`](crate::Protocol)
+/// implementation acts on the world.
+///
+/// Effects are collected and applied by the network layer after the
+/// callback returns, in the order they were issued.
+///
+/// # Example
+///
+/// (See the crate-level example for a full protocol.)
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// The node this callback runs on.
+    pub id: NodeId,
+    /// This node's deterministic random stream.
+    pub rng: &'a mut SimRng,
+    pub(crate) ops: Vec<Op<M>>,
+}
+
+impl<'a, M> Context<'a, M> {
+    pub(crate) fn new(now: SimTime, id: NodeId, rng: &'a mut SimRng) -> Self {
+        Context {
+            now,
+            id,
+            rng,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Broadcasts `msg` through the CSMA MAC.
+    ///
+    /// The frame leaves the antenna after MAC backoff and carrier sense; it
+    /// may be queued behind earlier frames.
+    pub fn send(&mut self, msg: M) {
+        self.ops.push(Op::Send(msg));
+    }
+
+    /// Schedules [`Protocol::on_timer`](crate::Protocol::on_timer) with
+    /// `token` after `delay`.
+    ///
+    /// Timers cannot be cancelled; encode an epoch in `token` and ignore
+    /// stale firings (see the trait docs).
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.ops.push(Op::Timer(delay, token));
+    }
+
+    /// Powers the radio down now and back up after `duration`, then calls
+    /// [`Protocol::on_wake`](crate::Protocol::on_wake).
+    ///
+    /// If the MAC is mid-transmission the power-down is deferred to the end
+    /// of that frame (a real radio finishes the byte stream it started);
+    /// the wake-up instant is unaffected. Any frames queued in the MAC are
+    /// dropped — a sleeping node transmits nothing.
+    pub fn sleep_for(&mut self, duration: SimDuration) {
+        self.ops.push(Op::Sleep(duration));
+    }
+
+    /// Reports that this node now holds the complete program image.
+    pub fn note_completion(&mut self) {
+        self.ops.push(Op::Complete);
+    }
+
+    /// Reports the node this node first downloaded from.
+    pub fn note_parent(&mut self, parent: NodeId) {
+        self.ops.push(Op::Parent(parent));
+    }
+
+    /// Reports that this node started forwarding code (became a sender).
+    pub fn note_became_sender(&mut self) {
+        self.ops.push(Op::BecameSender);
+    }
+
+    /// Reports that this node heard its first advertisement (starts the
+    /// Fig.-9 "without initial idle listening" clock).
+    pub fn note_first_heard(&mut self) {
+        self.ops.push(Op::FirstHeard);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_preserve_issue_order() {
+        let mut rng = SimRng::new(1);
+        let mut ctx: Context<'_, u8> = Context::new(SimTime::ZERO, NodeId(3), &mut rng);
+        ctx.send(9);
+        ctx.set_timer(SimDuration::from_secs(1), 77);
+        ctx.note_completion();
+        ctx.sleep_for(SimDuration::from_secs(2));
+        assert_eq!(
+            ctx.ops,
+            vec![
+                Op::Send(9),
+                Op::Timer(SimDuration::from_secs(1), 77),
+                Op::Complete,
+                Op::Sleep(SimDuration::from_secs(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn context_exposes_identity_and_time() {
+        let mut rng = SimRng::new(1);
+        let ctx: Context<'_, u8> = Context::new(SimTime::from_secs(5), NodeId(2), &mut rng);
+        assert_eq!(ctx.id, NodeId(2));
+        assert_eq!(ctx.now, SimTime::from_secs(5));
+    }
+}

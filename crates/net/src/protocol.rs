@@ -1,0 +1,104 @@
+//! The protocol abstraction.
+
+use std::fmt::Debug;
+
+use mnp_radio::NodeId;
+use mnp_trace::MsgClass;
+
+use crate::context::Context;
+
+/// On-air representation of a protocol message.
+///
+/// Byte sizes are the protocol's real packet budget (they drive airtime and
+/// collision windows), and the class feeds the Fig.-12 message breakdown.
+pub trait WireMsg {
+    /// Payload length in bytes as it would be laid out in a TinyOS packet.
+    /// Must not exceed [`mnp_radio::MAX_PAYLOAD_BYTES`].
+    fn wire_bytes(&self) -> usize;
+
+    /// Message class for tracing.
+    fn class(&self) -> MsgClass;
+}
+
+/// EEPROM operation counts a protocol has performed, polled by the network
+/// layer into the energy meters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EepromOps {
+    /// 16-byte line reads.
+    pub line_reads: u64,
+    /// 16-byte line writes.
+    pub line_writes: u64,
+}
+
+/// A per-node protocol state machine.
+///
+/// Implementations are deterministic given the randomness drawn from the
+/// [`Context`]'s RNG; all side effects go through the context.
+///
+/// # Timers and epochs
+///
+/// Timers are *not* cancellable at the network layer; a protocol that
+/// abandons a pending timer (e.g. MNP going to sleep mid-advertisement)
+/// should encode an epoch in the token and ignore stale firings. This
+/// mirrors TinyOS, where fired timer events of torn-down state machines
+/// are filtered in the handler.
+pub trait Protocol: Sized {
+    /// The protocol's message type.
+    type Msg: WireMsg + Clone + Debug;
+
+    /// Called once at simulation start (time zero).
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>);
+
+    /// Called for every intact frame this node's radio decodes — including
+    /// messages "destined" to other nodes, since the medium is broadcast
+    /// (MNP's sender selection depends on such overhearing). `from` is the
+    /// link-layer source carried in the TinyOS AM header.
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: NodeId, msg: &Self::Msg);
+
+    /// Called when a timer set through the context fires. `token` is the
+    /// value passed to [`Context::set_timer`].
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, token: u64);
+
+    /// Called when a sleep requested through [`Context::sleep_for`] ends
+    /// and the radio is back on.
+    fn on_wake(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Cumulative EEPROM line operations, polled for energy accounting.
+    fn eeprom_ops(&self) -> EepromOps {
+        EepromOps::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    struct Nop;
+
+    impl WireMsg for Nop {
+        fn wire_bytes(&self) -> usize {
+            0
+        }
+        fn class(&self) -> MsgClass {
+            MsgClass::Control
+        }
+    }
+
+    struct Minimal;
+
+    impl Protocol for Minimal {
+        type Msg = Nop;
+        fn on_start(&mut self, _: &mut Context<'_, Nop>) {}
+        fn on_message(&mut self, _: &mut Context<'_, Nop>, _: NodeId, _: &Nop) {}
+        fn on_timer(&mut self, _: &mut Context<'_, Nop>, _: u64) {}
+    }
+
+    #[test]
+    fn defaults_are_usable() {
+        let m = Minimal;
+        assert_eq!(m.eeprom_ops(), EepromOps::default());
+    }
+}

@@ -1,0 +1,476 @@
+//! CSMA medium-access control.
+//!
+//! MNP and all the baselines run over TinyOS's default CSMA MAC ("the
+//! approaches we mentioned so far use CSMA-based MAC protocol", §5). This is
+//! that MAC as a pure state machine: random initial backoff, carrier sense
+//! at the moment of the attempt, random congestion backoff on a busy
+//! channel, one outstanding frame at a time, and a small transmit queue.
+//!
+//! The machine is driven externally (by `mnp-net`'s event loop): it never
+//! sets timers itself, it *returns* the delay after which the caller should
+//! invoke [`Csma::attempt`].
+
+use std::collections::VecDeque;
+
+use mnp_sim::{SimDuration, SimRng};
+
+use crate::packet::Frame;
+
+/// Timing and queue parameters of the CSMA MAC.
+///
+/// Defaults follow the TinyOS Mica-2 stack: initial backoff uniform in
+/// \[0.4 ms, 12.8 ms\], congestion backoff uniform in \[0.4 ms, 51.2 ms\],
+/// and a short transmit queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CsmaConfig {
+    /// Lower bound of the pre-transmission random backoff.
+    pub initial_backoff_min: SimDuration,
+    /// Upper bound of the pre-transmission random backoff.
+    pub initial_backoff_max: SimDuration,
+    /// Lower bound of the busy-channel retry backoff.
+    pub congestion_backoff_min: SimDuration,
+    /// Upper bound of the busy-channel retry backoff.
+    pub congestion_backoff_max: SimDuration,
+    /// Maximum frames queued behind the in-flight one; beyond this new
+    /// frames are dropped (and counted).
+    pub queue_capacity: usize,
+}
+
+impl Default for CsmaConfig {
+    fn default() -> Self {
+        CsmaConfig {
+            initial_backoff_min: SimDuration::from_micros(400),
+            initial_backoff_max: SimDuration::from_millis(13),
+            congestion_backoff_min: SimDuration::from_micros(400),
+            congestion_backoff_max: SimDuration::from_micros(51_200),
+            queue_capacity: 8,
+        }
+    }
+}
+
+/// What the caller must do next after feeding the MAC an input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CsmaAction<P> {
+    /// Nothing to schedule.
+    Idle,
+    /// Call [`Csma::attempt`] after this delay.
+    Backoff(SimDuration),
+    /// Put this frame on the air now and call [`Csma::tx_done`] when the
+    /// transmission completes.
+    Transmit(Frame<P>),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    Idle,
+    /// Waiting for a backoff timer; the head frame is in `current`.
+    Backing,
+    /// A frame is on the air.
+    Transmitting,
+}
+
+/// The CSMA MAC state machine for one node.
+///
+/// # Example
+///
+/// ```
+/// use mnp_radio::{Csma, CsmaAction, CsmaConfig, Frame, NodeId};
+/// use mnp_sim::SimRng;
+///
+/// let mut mac: Csma<&str> = Csma::new(CsmaConfig::default());
+/// let mut rng = SimRng::new(1);
+/// // Enqueue: the MAC asks us to wait out an initial backoff.
+/// let a = mac.enqueue(Frame::new(NodeId(0), 4, "adv"), &mut rng);
+/// let delay = match a { CsmaAction::Backoff(d) => d, _ => unreachable!() };
+/// assert!(!delay.is_zero());
+/// // Backoff expired, channel clear: transmit.
+/// match mac.attempt(false, &mut rng) {
+///     CsmaAction::Transmit(f) => assert_eq!(f.payload, "adv"),
+///     other => panic!("{other:?}"),
+/// }
+/// assert_eq!(mac.tx_done(&mut rng), CsmaAction::Idle);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Csma<P> {
+    config: CsmaConfig,
+    state: State,
+    current: Option<Frame<P>>,
+    queue: VecDeque<Frame<P>>,
+    /// Frames dropped because the queue was full.
+    pub drops: u64,
+    /// Carrier-sense attempts that found the channel busy.
+    pub busy_retries: u64,
+}
+
+impl<P> Csma<P> {
+    /// Creates an idle MAC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backoff ranges are inverted.
+    pub fn new(config: CsmaConfig) -> Self {
+        assert!(config.initial_backoff_min <= config.initial_backoff_max);
+        assert!(config.congestion_backoff_min <= config.congestion_backoff_max);
+        Csma {
+            config,
+            state: State::Idle,
+            current: None,
+            queue: VecDeque::new(),
+            drops: 0,
+            busy_retries: 0,
+        }
+    }
+
+    /// Hands a frame to the MAC.
+    ///
+    /// Returns [`CsmaAction::Backoff`] when this frame starts a new
+    /// contention round; returns [`CsmaAction::Idle`] when the frame was
+    /// queued behind (or dropped beyond capacity of) an ongoing round.
+    pub fn enqueue(&mut self, frame: Frame<P>, rng: &mut SimRng) -> CsmaAction<P> {
+        match self.state {
+            State::Idle => {
+                debug_assert!(self.current.is_none() && self.queue.is_empty());
+                self.current = Some(frame);
+                self.state = State::Backing;
+                CsmaAction::Backoff(self.initial_backoff(rng))
+            }
+            State::Backing | State::Transmitting => {
+                if self.queue.len() >= self.config.queue_capacity {
+                    self.drops += 1;
+                } else {
+                    self.queue.push_back(frame);
+                }
+                CsmaAction::Idle
+            }
+        }
+    }
+
+    /// Carrier-sense attempt when a backoff timer fires.
+    ///
+    /// `channel_busy` is the carrier-sense reading at this instant. Returns
+    /// [`CsmaAction::Transmit`] on a clear channel or another
+    /// [`CsmaAction::Backoff`] on a busy one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the MAC was not waiting for an attempt (caller bug: stale
+    /// timer not cancelled).
+    pub fn attempt(&mut self, channel_busy: bool, rng: &mut SimRng) -> CsmaAction<P> {
+        assert_eq!(self.state, State::Backing, "attempt without pending frame");
+        if channel_busy {
+            self.busy_retries += 1;
+            CsmaAction::Backoff(self.congestion_backoff(rng))
+        } else {
+            self.state = State::Transmitting;
+            let frame = self.current.take().expect("backing implies current frame");
+            CsmaAction::Transmit(frame)
+        }
+    }
+
+    /// Notifies the MAC that its frame finished transmitting.
+    ///
+    /// Returns the next action: a backoff for the next queued frame, or
+    /// [`CsmaAction::Idle`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transmission was in flight.
+    pub fn tx_done(&mut self, rng: &mut SimRng) -> CsmaAction<P> {
+        assert_eq!(
+            self.state,
+            State::Transmitting,
+            "tx_done without transmission"
+        );
+        self.state = State::Idle;
+        match self.queue.pop_front() {
+            Some(next) => {
+                self.current = Some(next);
+                self.state = State::Backing;
+                CsmaAction::Backoff(self.initial_backoff(rng))
+            }
+            None => CsmaAction::Idle,
+        }
+    }
+
+    /// Discards the pending frame and queue (used when the node sleeps).
+    ///
+    /// Returns how many frames were thrown away. Must not be called while a
+    /// frame is mid-air; finish or account for it first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transmission is in flight.
+    pub fn flush(&mut self) -> usize {
+        assert_ne!(self.state, State::Transmitting, "flush mid-transmission");
+        let n = usize::from(self.current.take().is_some()) + self.queue.len();
+        self.queue.clear();
+        self.state = State::Idle;
+        n
+    }
+
+    /// Whether the MAC holds no frames (idle and empty queue).
+    pub fn is_idle(&self) -> bool {
+        self.state == State::Idle && self.current.is_none() && self.queue.is_empty()
+    }
+
+    /// Whether a frame is currently on the air.
+    pub fn is_transmitting(&self) -> bool {
+        self.state == State::Transmitting
+    }
+
+    /// Frames waiting behind the current one.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn initial_backoff(&self, rng: &mut SimRng) -> SimDuration {
+        rng.duration_between(
+            self.config.initial_backoff_min,
+            self.config.initial_backoff_max,
+        )
+    }
+
+    fn congestion_backoff(&self, rng: &mut SimRng) -> SimDuration {
+        rng.duration_between(
+            self.config.congestion_backoff_min,
+            self.config.congestion_backoff_max,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    fn frame(tag: u32) -> Frame<u32> {
+        Frame::new(NodeId(0), 8, tag)
+    }
+
+    fn mac() -> (Csma<u32>, SimRng) {
+        (Csma::new(CsmaConfig::default()), SimRng::new(42))
+    }
+
+    #[test]
+    fn single_frame_lifecycle() {
+        let (mut m, mut rng) = mac();
+        assert!(m.is_idle());
+        let a = m.enqueue(frame(1), &mut rng);
+        assert!(matches!(a, CsmaAction::Backoff(_)));
+        let a = m.attempt(false, &mut rng);
+        match a {
+            CsmaAction::Transmit(f) => assert_eq!(f.payload, 1),
+            other => panic!("expected transmit, got {other:?}"),
+        }
+        assert!(m.is_transmitting());
+        assert_eq!(m.tx_done(&mut rng), CsmaAction::Idle);
+        assert!(m.is_idle());
+    }
+
+    #[test]
+    fn busy_channel_backs_off_and_counts() {
+        let (mut m, mut rng) = mac();
+        m.enqueue(frame(1), &mut rng);
+        for _ in 0..3 {
+            assert!(matches!(m.attempt(true, &mut rng), CsmaAction::Backoff(_)));
+        }
+        assert_eq!(m.busy_retries, 3);
+        assert!(matches!(
+            m.attempt(false, &mut rng),
+            CsmaAction::Transmit(_)
+        ));
+    }
+
+    #[test]
+    fn frames_queue_behind_current() {
+        let (mut m, mut rng) = mac();
+        m.enqueue(frame(1), &mut rng);
+        assert_eq!(m.enqueue(frame(2), &mut rng), CsmaAction::Idle);
+        assert_eq!(m.queued(), 1);
+        let _ = m.attempt(false, &mut rng);
+        // Completing frame 1 starts contention for frame 2.
+        assert!(matches!(m.tx_done(&mut rng), CsmaAction::Backoff(_)));
+        match m.attempt(false, &mut rng) {
+            CsmaAction::Transmit(f) => assert_eq!(f.payload, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let cfg = CsmaConfig {
+            queue_capacity: 2,
+            ..CsmaConfig::default()
+        };
+        let mut m = Csma::new(cfg);
+        let mut rng = SimRng::new(1);
+        m.enqueue(frame(0), &mut rng);
+        m.enqueue(frame(1), &mut rng);
+        m.enqueue(frame(2), &mut rng);
+        m.enqueue(frame(3), &mut rng);
+        assert_eq!(m.queued(), 2);
+        assert_eq!(m.drops, 1);
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let (mut m, mut rng) = mac();
+        m.enqueue(frame(1), &mut rng);
+        m.enqueue(frame(2), &mut rng);
+        assert_eq!(m.flush(), 2);
+        assert!(m.is_idle());
+        // A fresh enqueue starts a new round.
+        assert!(matches!(
+            m.enqueue(frame(3), &mut rng),
+            CsmaAction::Backoff(_)
+        ));
+    }
+
+    #[test]
+    fn backoffs_fall_within_configured_bounds() {
+        let (mut m, mut rng) = mac();
+        for _ in 0..200 {
+            match m.enqueue(frame(1), &mut rng) {
+                CsmaAction::Backoff(d) => {
+                    assert!(d >= SimDuration::from_micros(400) && d < SimDuration::from_millis(13));
+                }
+                other => panic!("{other:?}"),
+            }
+            match m.attempt(true, &mut rng) {
+                CsmaAction::Backoff(d) => {
+                    assert!(
+                        d >= SimDuration::from_micros(400) && d < SimDuration::from_micros(51_200)
+                    );
+                }
+                other => panic!("{other:?}"),
+            }
+            let _ = m.attempt(false, &mut rng);
+            let _ = m.tx_done(&mut rng);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "attempt without pending frame")]
+    fn attempt_when_idle_panics() {
+        let (mut m, mut rng) = mac();
+        let _ = m.attempt(false, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "tx_done without transmission")]
+    fn tx_done_when_idle_panics() {
+        let (mut m, mut rng) = mac();
+        let _ = m.tx_done(&mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "flush mid-transmission")]
+    fn flush_mid_tx_panics() {
+        let (mut m, mut rng) = mac();
+        m.enqueue(frame(1), &mut rng);
+        let _ = m.attempt(false, &mut rng);
+        let _ = m.flush();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::ids::NodeId;
+    use proptest::prelude::*;
+
+    #[derive(Clone, Debug)]
+    enum Op {
+        Enqueue,
+        Attempt { busy: bool },
+        TxDone,
+        Flush,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            3 => Just(Op::Enqueue),
+            3 => any::<bool>().prop_map(|busy| Op::Attempt { busy }),
+            2 => Just(Op::TxDone),
+            1 => Just(Op::Flush),
+        ]
+    }
+
+    proptest! {
+        /// Driving the MAC with any legal operation sequence never panics
+        /// and keeps its state model consistent: attempts only happen while
+        /// backing, tx_done only while transmitting, flush only while not
+        /// transmitting.
+        #[test]
+        fn prop_csma_state_machine_is_total(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+            let mut mac: Csma<u32> = Csma::new(CsmaConfig::default());
+            let mut rng = SimRng::new(9);
+            #[derive(PartialEq)]
+            enum Model { Idle, Backing, Tx }
+            let mut model = Model::Idle;
+            let mut tag = 0u32;
+            for op in ops {
+                match op {
+                    Op::Enqueue => {
+                        tag += 1;
+                        let action = mac.enqueue(Frame::new(NodeId(0), 4, tag), &mut rng);
+                        match (&model, &action) {
+                            (Model::Idle, CsmaAction::Backoff(_)) => model = Model::Backing,
+                            (Model::Backing | Model::Tx, CsmaAction::Idle) => {}
+                            other => prop_assert!(false, "enqueue mismatch: {:?}", other.1),
+                        }
+                    }
+                    Op::Attempt { busy } => {
+                        if model != Model::Backing { continue; }
+                        match mac.attempt(busy, &mut rng) {
+                            CsmaAction::Backoff(_) => prop_assert!(busy),
+                            CsmaAction::Transmit(_) => {
+                                prop_assert!(!busy);
+                                model = Model::Tx;
+                            }
+                            CsmaAction::Idle => prop_assert!(false, "attempt yielded Idle"),
+                        }
+                    }
+                    Op::TxDone => {
+                        if model != Model::Tx { continue; }
+                        match mac.tx_done(&mut rng) {
+                            CsmaAction::Backoff(_) => model = Model::Backing,
+                            CsmaAction::Idle => model = Model::Idle,
+                            CsmaAction::Transmit(_) => prop_assert!(false, "tx_done yielded Transmit"),
+                        }
+                    }
+                    Op::Flush => {
+                        if model == Model::Tx { continue; }
+                        mac.flush();
+                        model = Model::Idle;
+                        prop_assert!(mac.is_idle());
+                    }
+                }
+            }
+        }
+
+        /// Frames come out in FIFO order across a drain.
+        #[test]
+        fn prop_csma_is_fifo(n in 1usize..8) {
+            let mut mac: Csma<u32> = Csma::new(CsmaConfig::default());
+            let mut rng = SimRng::new(4);
+            for tag in 0..n as u32 {
+                let _ = mac.enqueue(Frame::new(NodeId(0), 4, tag), &mut rng);
+            }
+            let mut seen = Vec::new();
+            #[allow(clippy::while_let_loop)]
+            loop {
+                match mac.attempt(false, &mut rng) {
+                    CsmaAction::Transmit(f) => seen.push(f.payload),
+                    _ => break,
+                }
+                match mac.tx_done(&mut rng) {
+                    CsmaAction::Backoff(_) => continue,
+                    _ => break,
+                }
+            }
+            let expect: Vec<u32> = (0..n as u32).collect();
+            prop_assert_eq!(seen, expect);
+        }
+    }
+}

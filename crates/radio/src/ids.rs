@@ -1,0 +1,77 @@
+//! Node identity.
+
+use std::fmt;
+
+/// Identifier of one sensor node in the simulated network.
+///
+/// Node IDs are dense indices assigned by the topology (`0..n`); they double
+/// as the protocol-level mote ID that MNP uses as the tie-breaker in sender
+/// selection ("with appropriate tie breaker on node ID", §3.1.1).
+///
+/// # Example
+///
+/// ```
+/// use mnp_radio::NodeId;
+///
+/// let base_station = NodeId(0);
+/// assert_eq!(base_station.index(), 0);
+/// assert!(NodeId(3) > NodeId(1));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The ID as a dense vector index.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Builds an ID from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u16::MAX` (the simulator supports at most
+    /// 65 536 nodes, far beyond the paper's 400-node maximum).
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u16::try_from(index).expect("node index exceeds u16 range"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        assert_eq!(NodeId::from_index(7).index(), 7);
+        assert_eq!(NodeId::from_index(0), NodeId(0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(NodeId(42).to_string(), "n42");
+    }
+
+    #[test]
+    fn ordering_matches_numeric() {
+        assert!(NodeId(2) < NodeId(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "u16 range")]
+    fn from_index_rejects_huge() {
+        let _ = NodeId::from_index(100_000);
+    }
+}

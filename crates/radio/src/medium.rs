@@ -1,0 +1,803 @@
+//! The shared wireless medium: transmissions, collisions, radio states.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use mnp_sim::{SimDuration, SimRng, SimTime};
+
+use crate::ids::NodeId;
+use crate::link::LinkTable;
+use crate::loss::frame_success_probability;
+use crate::packet::Frame;
+
+/// Identifier of one in-flight transmission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TxId(u64);
+
+/// Power state of one node's radio.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum RadioState {
+    /// Radio powered down (MNP's sleep state): hears nothing, spends no
+    /// energy, accumulates no active radio time.
+    Off,
+    /// Radio on, idle listening.
+    #[default]
+    Listening,
+    /// Radio on and locked onto an incoming frame.
+    Receiving,
+    /// Radio on and transmitting.
+    Transmitting,
+}
+
+impl RadioState {
+    /// Whether the radio is powered at all.
+    pub fn is_on(self) -> bool {
+        self != RadioState::Off
+    }
+}
+
+impl fmt::Display for RadioState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RadioState::Off => "off",
+            RadioState::Listening => "listening",
+            RadioState::Receiving => "receiving",
+            RadioState::Transmitting => "transmitting",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why a transmission could not start.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxError {
+    /// The node's radio is off.
+    RadioOff(NodeId),
+    /// The node is already mid-transmission.
+    AlreadyTransmitting(NodeId),
+}
+
+impl fmt::Display for TxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxError::RadioOff(n) => write!(f, "radio of {n} is off"),
+            TxError::AlreadyTransmitting(n) => write!(f, "{n} is already transmitting"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+/// Receipt for a started transmission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxStart {
+    /// Handle to pass to [`Medium::finish_transmission`].
+    pub id: TxId,
+    /// Channel occupancy; the caller schedules the finish at `now + airtime`.
+    pub airtime: SimDuration,
+}
+
+/// What happened to a finished transmission at each audible receiver.
+#[derive(Clone, Debug)]
+pub struct TxOutcome<P> {
+    /// The transmitter.
+    pub src: NodeId,
+    /// Receivers that got the frame intact, with their payload copies.
+    pub delivered: Vec<(NodeId, P)>,
+    /// Receivers whose reception was corrupted by an overlapping
+    /// transmission (collision / hidden terminal).
+    pub corrupted: Vec<NodeId>,
+    /// Receivers that lost the frame to link bit errors.
+    pub missed: Vec<NodeId>,
+}
+
+/// Per-node medium statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MediumStats {
+    /// Frames this node put on the air.
+    pub frames_sent: u64,
+    /// Frames delivered intact to this node.
+    pub frames_received: u64,
+    /// Receptions lost to collisions at this node.
+    pub collisions: u64,
+    /// Receptions lost to link bit errors at this node.
+    pub bit_error_losses: u64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct RadioCell {
+    state: RadioState,
+    on_since: Option<SimTime>,
+    active_time: SimDuration,
+    /// Set when `state == Receiving`.
+    current_rx: Option<RxLock>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct RxLock {
+    tx: TxId,
+    corrupted: bool,
+}
+
+#[derive(Debug)]
+struct ActiveTx<P> {
+    src: NodeId,
+    frame: Frame<P>,
+    /// Nodes that locked onto this frame at its start.
+    listeners: Vec<NodeId>,
+}
+
+/// The shared wireless medium over a [`LinkTable`].
+///
+/// `Medium` owns the radio state of every node and adjudicates every
+/// transmission: who locks on, who collides, who loses the frame to bit
+/// errors. It is driven from outside by a discrete-event loop:
+/// [`Medium::start_transmission`] at the moment a frame hits the air, and
+/// [`Medium::finish_transmission`] exactly `airtime` later.
+///
+/// # Collision model
+///
+/// A listening node locks onto the *first* audible frame. Any other audible
+/// transmission overlapping the lock corrupts it (no capture effect), and
+/// the overlapping frame is itself lost at that receiver. Because
+/// audibility is the directed link graph, two transmitters out of range of
+/// each other can corrupt a common receiver — the hidden-terminal problem
+/// MNP's sender selection addresses.
+///
+/// # Example
+///
+/// See the crate-level example.
+#[derive(Debug)]
+pub struct Medium<P> {
+    links: LinkTable,
+    radios: Vec<RadioCell>,
+    active: HashMap<TxId, ActiveTx<P>>,
+    stats: Vec<MediumStats>,
+    rng: SimRng,
+    next_tx: u64,
+    capture: bool,
+}
+
+impl<P: Clone> Medium<P> {
+    /// Creates a medium over `links` with every radio initially listening.
+    pub fn new(links: LinkTable, rng: SimRng) -> Self {
+        let n = links.len();
+        let mut radios = vec![RadioCell::default(); n];
+        for cell in &mut radios {
+            cell.on_since = Some(SimTime::ZERO);
+        }
+        Medium {
+            links,
+            radios,
+            active: HashMap::new(),
+            stats: vec![MediumStats::default(); n],
+            rng,
+            next_tx: 0,
+            capture: false,
+        }
+    }
+
+    /// Enables or disables the capture effect.
+    ///
+    /// With capture on, a receiver locked onto a *much cleaner* signal
+    /// (per-link bit error rate at least an order of magnitude lower)
+    /// survives an overlapping transmission; the weaker frame is lost at
+    /// that receiver either way. Real CC1000 radios capture; TOSSIM's
+    /// bit-level model partially does. Off by default — the conservative
+    /// model every headline experiment uses; the sensitivity experiment
+    /// (EXPERIMENTS.md X4) quantifies the difference.
+    pub fn set_capture(&mut self, capture: bool) {
+        self.capture = capture;
+    }
+
+    /// Whether the capture effect is enabled.
+    pub fn capture(&self) -> bool {
+        self.capture
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.radios.len()
+    }
+
+    /// Whether the medium has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.radios.is_empty()
+    }
+
+    /// The link graph.
+    pub fn links(&self) -> &LinkTable {
+        &self.links
+    }
+
+    /// The radio state of `node`.
+    pub fn radio_state(&self, node: NodeId) -> RadioState {
+        self.radios[node.index()].state
+    }
+
+    /// Turns a node's radio on (wake) or off (sleep) at time `now`.
+    ///
+    /// Turning the radio off aborts any in-progress reception. Turning it on
+    /// mid-way through someone else's transmission does **not** deliver that
+    /// frame: a radio that missed the preamble cannot decode the packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if asked to power off a transmitting radio; the network layer
+    /// defers protocol sleep requests until the MAC finishes its frame.
+    pub fn set_radio(&mut self, node: NodeId, on: bool, now: SimTime) {
+        let cell = &mut self.radios[node.index()];
+        match (cell.state.is_on(), on) {
+            (false, true) => {
+                cell.state = RadioState::Listening;
+                cell.on_since = Some(now);
+            }
+            (true, false) => {
+                assert!(
+                    cell.state != RadioState::Transmitting,
+                    "{node} cannot sleep mid-transmission"
+                );
+                cell.active_time += now.saturating_since(cell.on_since.take().expect("radio on"));
+                cell.state = RadioState::Off;
+                cell.current_rx = None;
+            }
+            _ => {}
+        }
+    }
+
+    /// Time `node`'s radio has spent powered on up to `now`.
+    ///
+    /// This is the paper's *active radio time* metric (§4.2): "it decides
+    /// the amount of energy that a node actually consumes".
+    pub fn active_radio_time(&self, node: NodeId, now: SimTime) -> SimDuration {
+        let cell = &self.radios[node.index()];
+        let running = cell
+            .on_since
+            .map(|s| now.saturating_since(s))
+            .unwrap_or(SimDuration::ZERO);
+        cell.active_time + running
+    }
+
+    /// Whether `node` senses the channel busy: it is receiving,
+    /// transmitting, or can hear any in-flight transmission.
+    pub fn channel_busy(&self, node: NodeId) -> bool {
+        let cell = &self.radios[node.index()];
+        match cell.state {
+            RadioState::Off => false,
+            RadioState::Receiving | RadioState::Transmitting => true,
+            RadioState::Listening => self
+                .active
+                .values()
+                .any(|tx| self.links.ber(tx.src, node).is_some()),
+        }
+    }
+
+    /// Puts `frame` on the air from `src` at time `now`.
+    ///
+    /// Every audible idle neighbour locks onto the frame; neighbours already
+    /// receiving another frame have that reception corrupted. The caller
+    /// must invoke [`Medium::finish_transmission`] at `now + airtime`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxError`] if the radio is off or already transmitting.
+    pub fn start_transmission(
+        &mut self,
+        src: NodeId,
+        frame: Frame<P>,
+        _now: SimTime,
+    ) -> Result<TxStart, TxError> {
+        assert_eq!(frame.src, src, "frame source must match transmitter");
+        {
+            let cell = &mut self.radios[src.index()];
+            match cell.state {
+                RadioState::Off => return Err(TxError::RadioOff(src)),
+                RadioState::Transmitting => return Err(TxError::AlreadyTransmitting(src)),
+                RadioState::Receiving => {
+                    // Forced send aborts the reception in progress.
+                    cell.current_rx = None;
+                    cell.state = RadioState::Transmitting;
+                }
+                RadioState::Listening => cell.state = RadioState::Transmitting,
+            }
+        }
+        let id = TxId(self.next_tx);
+        self.next_tx += 1;
+        let airtime = frame.airtime();
+        self.stats[src.index()].frames_sent += 1;
+
+        let mut listeners = Vec::new();
+        let neighbors: Vec<NodeId> = self.links.neighbors(src).map(|(n, _)| n).collect();
+        for n in neighbors {
+            let cell = &mut self.radios[n.index()];
+            match cell.state {
+                RadioState::Off | RadioState::Transmitting => {}
+                RadioState::Listening => {
+                    cell.state = RadioState::Receiving;
+                    cell.current_rx = Some(RxLock {
+                        tx: id,
+                        corrupted: false,
+                    });
+                    listeners.push(n);
+                }
+                RadioState::Receiving => {
+                    // Overlap. Without capture the ongoing reception is
+                    // corrupted and this frame is lost at `n` too. With
+                    // capture, a much cleaner locked signal survives.
+                    let survives = self.capture
+                        && cell.current_rx.is_some_and(|lock| {
+                            let locked_src = self.active.get(&lock.tx).map(|tx| tx.src);
+                            match locked_src {
+                                Some(ls) => {
+                                    let cur = self.links.ber(ls, n).unwrap_or(1.0);
+                                    let new = self.links.ber(src, n).unwrap_or(1.0);
+                                    // Order-of-magnitude BER advantage ≈
+                                    // the ~6 dB power ratio real radios
+                                    // need to capture.
+                                    cur.max(1e-9) * 10.0 <= new.max(1e-9)
+                                }
+                                None => false,
+                            }
+                        });
+                    if !survives {
+                        if let Some(lock) = cell.current_rx.as_mut() {
+                            if !lock.corrupted {
+                                lock.corrupted = true;
+                            }
+                        }
+                        self.stats[n.index()].collisions += 1;
+                    }
+                }
+            }
+        }
+        self.active.insert(
+            id,
+            ActiveTx {
+                src,
+                frame,
+                listeners,
+            },
+        );
+        Ok(TxStart { id, airtime })
+    }
+
+    /// Completes transmission `id` at time `now`, returning what each
+    /// audible receiver got.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or already finished.
+    pub fn finish_transmission(&mut self, id: TxId, _now: SimTime) -> TxOutcome<P> {
+        let tx = self.active.remove(&id).expect("unknown or finished TxId");
+        // The transmitter returns to listening.
+        {
+            let cell = &mut self.radios[tx.src.index()];
+            debug_assert_eq!(cell.state, RadioState::Transmitting);
+            cell.state = RadioState::Listening;
+        }
+        let bits = tx.frame.bits();
+        let mut outcome = TxOutcome {
+            src: tx.src,
+            delivered: Vec::new(),
+            corrupted: Vec::new(),
+            missed: Vec::new(),
+        };
+        for l in tx.listeners {
+            let cell = &mut self.radios[l.index()];
+            let lock = match cell.current_rx {
+                Some(lock) if lock.tx == id => lock,
+                // The listener slept, or aborted to transmit: frame lost.
+                _ => continue,
+            };
+            cell.current_rx = None;
+            cell.state = RadioState::Listening;
+            if lock.corrupted {
+                self.stats[l.index()].collisions += 1;
+                outcome.corrupted.push(l);
+                continue;
+            }
+            let ber = self
+                .links
+                .ber(tx.src, l)
+                .expect("listener implies audible link");
+            if self.rng.chance(frame_success_probability(ber, bits)) {
+                self.stats[l.index()].frames_received += 1;
+                outcome.delivered.push((l, tx.frame.payload.clone()));
+            } else {
+                self.stats[l.index()].bit_error_losses += 1;
+                outcome.missed.push(l);
+            }
+        }
+        outcome
+    }
+
+    /// Per-node medium statistics.
+    pub fn stats(&self, node: NodeId) -> MediumStats {
+        self.stats[node.index()]
+    }
+
+    /// Aborts an in-flight transmission (the transmitter died mid-frame).
+    ///
+    /// Listeners locked onto the frame receive nothing — a truncated frame
+    /// fails its CRC — and return to listening. The transmitter's radio is
+    /// left in the listening state; callers typically power it off next.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or already finished.
+    pub fn abort_transmission(&mut self, id: TxId, _now: SimTime) {
+        let tx = self.active.remove(&id).expect("unknown or finished TxId");
+        {
+            let cell = &mut self.radios[tx.src.index()];
+            debug_assert_eq!(cell.state, RadioState::Transmitting);
+            cell.state = RadioState::Listening;
+        }
+        for l in tx.listeners {
+            let cell = &mut self.radios[l.index()];
+            if matches!(cell.current_rx, Some(lock) if lock.tx == id) {
+                cell.current_rx = None;
+                cell.state = RadioState::Listening;
+                self.stats[l.index()].bit_error_losses += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A clique of `n` nodes with perfect links.
+    fn clique(n: usize) -> Medium<u32> {
+        let mut links = LinkTable::new(n);
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    links.connect(NodeId::from_index(a), NodeId::from_index(b), 0.0);
+                }
+            }
+        }
+        Medium::new(links, SimRng::new(99))
+    }
+
+    fn frame(src: u16, tag: u32) -> Frame<u32> {
+        Frame::new(NodeId(src), 20, tag)
+    }
+
+    #[test]
+    fn clean_delivery_to_all_listeners() {
+        let mut m = clique(4);
+        let t0 = SimTime::ZERO;
+        let tx = m.start_transmission(NodeId(0), frame(0, 7), t0).unwrap();
+        let out = m.finish_transmission(tx.id, t0 + tx.airtime);
+        let mut got: Vec<u16> = out.delivered.iter().map(|(n, _)| n.0).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3]);
+        assert!(out.corrupted.is_empty() && out.missed.is_empty());
+        assert_eq!(m.stats(NodeId(1)).frames_received, 1);
+        assert_eq!(m.stats(NodeId(0)).frames_sent, 1);
+    }
+
+    #[test]
+    fn overlapping_transmissions_collide() {
+        let mut m = clique(3);
+        let t0 = SimTime::ZERO;
+        let tx0 = m.start_transmission(NodeId(0), frame(0, 1), t0).unwrap();
+        // Node 1 (ignoring carrier sense) transmits while 0 is on air.
+        let tx1 = m
+            .start_transmission(NodeId(1), frame(1, 2), t0 + SimDuration::from_millis(1))
+            .unwrap();
+        let out0 = m.finish_transmission(tx0.id, t0 + tx0.airtime);
+        // Node 2 locked onto tx0 and was corrupted by tx1.
+        assert_eq!(out0.corrupted, vec![NodeId(2)]);
+        assert!(out0.delivered.is_empty());
+        let out1 = m.finish_transmission(tx1.id, t0 + SimDuration::from_millis(1) + tx1.airtime);
+        // Nobody was idle at tx1's start, so nobody locked onto it.
+        assert!(out1.delivered.is_empty() && out1.corrupted.is_empty());
+    }
+
+    #[test]
+    fn hidden_terminal_corrupts_middle_node() {
+        // 0 — 1 — 2: 0 and 2 cannot hear each other.
+        let mut links = LinkTable::new(3);
+        links.connect(NodeId(0), NodeId(1), 0.0);
+        links.connect(NodeId(1), NodeId(0), 0.0);
+        links.connect(NodeId(2), NodeId(1), 0.0);
+        links.connect(NodeId(1), NodeId(2), 0.0);
+        let mut m: Medium<u32> = Medium::new(links, SimRng::new(1));
+        let t0 = SimTime::ZERO;
+        // Both ends see a clear channel (they cannot hear each other)...
+        let tx0 = m.start_transmission(NodeId(0), frame(0, 1), t0).unwrap();
+        assert!(
+            !m.channel_busy(NodeId(2)),
+            "2 cannot hear 0: hidden terminal"
+        );
+        let tx2 = m.start_transmission(NodeId(2), frame(2, 2), t0).unwrap();
+        // ...and the middle node loses both frames.
+        let out0 = m.finish_transmission(tx0.id, t0 + tx0.airtime);
+        let out2 = m.finish_transmission(tx2.id, t0 + tx2.airtime);
+        assert_eq!(out0.corrupted, vec![NodeId(1)]);
+        assert!(out2.delivered.is_empty());
+    }
+
+    #[test]
+    fn sleeping_node_hears_nothing() {
+        let mut m = clique(2);
+        let t0 = SimTime::ZERO;
+        m.set_radio(NodeId(1), false, t0);
+        let tx = m.start_transmission(NodeId(0), frame(0, 1), t0).unwrap();
+        let out = m.finish_transmission(tx.id, t0 + tx.airtime);
+        assert!(out.delivered.is_empty());
+        assert_eq!(m.stats(NodeId(1)).frames_received, 0);
+    }
+
+    #[test]
+    fn waking_mid_frame_does_not_deliver() {
+        let mut m = clique(2);
+        let t0 = SimTime::ZERO;
+        m.set_radio(NodeId(1), false, t0);
+        let tx = m.start_transmission(NodeId(0), frame(0, 1), t0).unwrap();
+        m.set_radio(NodeId(1), true, t0 + SimDuration::from_millis(2));
+        let out = m.finish_transmission(tx.id, t0 + tx.airtime);
+        assert!(out.delivered.is_empty(), "missed preamble, no decode");
+    }
+
+    #[test]
+    fn sleeping_mid_reception_loses_frame() {
+        let mut m = clique(2);
+        let t0 = SimTime::ZERO;
+        let tx = m.start_transmission(NodeId(0), frame(0, 1), t0).unwrap();
+        assert_eq!(m.radio_state(NodeId(1)), RadioState::Receiving);
+        m.set_radio(NodeId(1), false, t0 + SimDuration::from_millis(1));
+        let out = m.finish_transmission(tx.id, t0 + tx.airtime);
+        assert!(out.delivered.is_empty());
+    }
+
+    #[test]
+    fn radio_off_errors_transmission() {
+        let mut m = clique(2);
+        m.set_radio(NodeId(0), false, SimTime::ZERO);
+        let err = m
+            .start_transmission(NodeId(0), frame(0, 1), SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err, TxError::RadioOff(NodeId(0)));
+    }
+
+    #[test]
+    fn double_transmit_errors() {
+        let mut m = clique(2);
+        let _ = m
+            .start_transmission(NodeId(0), frame(0, 1), SimTime::ZERO)
+            .unwrap();
+        let err = m
+            .start_transmission(NodeId(0), frame(0, 2), SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(err, TxError::AlreadyTransmitting(NodeId(0)));
+    }
+
+    #[test]
+    fn lossy_link_drops_frames_at_expected_rate() {
+        // PER ≈ 1 - (1-ber)^bits; pick ber so PER ≈ 0.5 for a 304-bit frame.
+        let bits = ((crate::packet::FRAME_OVERHEAD_BYTES + 20) * 8) as f64;
+        let ber = 1.0 - 0.5f64.powf(1.0 / bits);
+        let mut links = LinkTable::new(2);
+        links.connect(NodeId(0), NodeId(1), ber);
+        let mut m: Medium<u32> = Medium::new(links, SimRng::new(17));
+        let mut delivered = 0;
+        let mut t = SimTime::ZERO;
+        for i in 0..2_000 {
+            let tx = m.start_transmission(NodeId(0), frame(0, i), t).unwrap();
+            t += tx.airtime;
+            let out = m.finish_transmission(tx.id, t);
+            delivered += out.delivered.len();
+        }
+        assert!(
+            (800..1200).contains(&delivered),
+            "≈50% delivery expected, got {delivered}/2000"
+        );
+    }
+
+    #[test]
+    fn channel_busy_reflects_audible_tx() {
+        let mut m = clique(3);
+        assert!(!m.channel_busy(NodeId(2)));
+        let tx = m
+            .start_transmission(NodeId(0), frame(0, 1), SimTime::ZERO)
+            .unwrap();
+        assert!(m.channel_busy(NodeId(2)));
+        assert!(m.channel_busy(NodeId(0)), "transmitter senses itself busy");
+        m.finish_transmission(tx.id, SimTime::ZERO + tx.airtime);
+        assert!(!m.channel_busy(NodeId(2)));
+    }
+
+    #[test]
+    fn active_radio_time_accumulates_only_while_on() {
+        let mut m = clique(1);
+        let on1 = SimTime::from_secs(10);
+        m.set_radio(NodeId(0), false, on1);
+        assert_eq!(
+            m.active_radio_time(NodeId(0), SimTime::from_secs(50)),
+            SimDuration::from_secs(10)
+        );
+        m.set_radio(NodeId(0), true, SimTime::from_secs(50));
+        assert_eq!(
+            m.active_radio_time(NodeId(0), SimTime::from_secs(55)),
+            SimDuration::from_secs(15)
+        );
+    }
+
+    #[test]
+    fn redundant_radio_toggles_are_noops() {
+        let mut m = clique(1);
+        m.set_radio(NodeId(0), true, SimTime::from_secs(1));
+        m.set_radio(NodeId(0), false, SimTime::from_secs(2));
+        m.set_radio(NodeId(0), false, SimTime::from_secs(3));
+        assert_eq!(
+            m.active_radio_time(NodeId(0), SimTime::from_secs(9)),
+            SimDuration::from_secs(2)
+        );
+    }
+
+    #[test]
+    fn transmit_aborts_own_reception() {
+        let mut m = clique(3);
+        let t0 = SimTime::ZERO;
+        let tx0 = m.start_transmission(NodeId(0), frame(0, 1), t0).unwrap();
+        assert_eq!(m.radio_state(NodeId(1)), RadioState::Receiving);
+        // Node 1 force-transmits mid-reception.
+        let tx1 = m.start_transmission(NodeId(1), frame(1, 2), t0).unwrap();
+        assert_eq!(m.radio_state(NodeId(1)), RadioState::Transmitting);
+        let out0 = m.finish_transmission(tx0.id, t0 + tx0.airtime);
+        // Node 1 aborted: neither delivered nor counted corrupted there.
+        assert!(!out0.delivered.iter().any(|(n, _)| *n == NodeId(1)));
+        assert!(!out0.corrupted.contains(&NodeId(1)));
+        // Node 2 was corrupted by the overlap.
+        assert!(out0.corrupted.contains(&NodeId(2)));
+        m.finish_transmission(tx1.id, t0 + tx1.airtime);
+    }
+}
+
+#[cfg(test)]
+mod abort_tests {
+    use super::*;
+
+    fn clique(n: usize) -> Medium<u32> {
+        let mut links = LinkTable::new(n);
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    links.connect(NodeId::from_index(a), NodeId::from_index(b), 0.0);
+                }
+            }
+        }
+        Medium::new(links, SimRng::new(7))
+    }
+
+    #[test]
+    fn aborted_transmission_delivers_nothing() {
+        let mut m = clique(3);
+        let t0 = SimTime::ZERO;
+        let tx = m
+            .start_transmission(NodeId(0), Frame::new(NodeId(0), 10, 5u32), t0)
+            .unwrap();
+        assert_eq!(m.radio_state(NodeId(1)), RadioState::Receiving);
+        m.abort_transmission(tx.id, t0 + SimDuration::from_millis(3));
+        // Listeners unlocked, nothing delivered, transmitter listening.
+        assert_eq!(m.radio_state(NodeId(0)), RadioState::Listening);
+        assert_eq!(m.radio_state(NodeId(1)), RadioState::Listening);
+        assert_eq!(m.stats(NodeId(1)).frames_received, 0);
+        assert_eq!(
+            m.stats(NodeId(1)).bit_error_losses,
+            1,
+            "truncated frame fails CRC"
+        );
+    }
+
+    #[test]
+    fn abort_frees_the_channel() {
+        let mut m = clique(2);
+        let t0 = SimTime::ZERO;
+        let tx = m
+            .start_transmission(NodeId(0), Frame::new(NodeId(0), 10, 1u32), t0)
+            .unwrap();
+        assert!(m.channel_busy(NodeId(1)));
+        m.abort_transmission(tx.id, t0 + SimDuration::from_millis(1));
+        assert!(!m.channel_busy(NodeId(1)));
+        // The channel is reusable immediately.
+        let tx2 = m
+            .start_transmission(
+                NodeId(1),
+                Frame::new(NodeId(1), 10, 2u32),
+                t0 + SimDuration::from_millis(2),
+            )
+            .unwrap();
+        let out = m.finish_transmission(tx2.id, t0 + SimDuration::from_millis(2) + tx2.airtime);
+        assert_eq!(out.delivered.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown or finished TxId")]
+    fn double_abort_panics() {
+        let mut m = clique(2);
+        let tx = m
+            .start_transmission(NodeId(0), Frame::new(NodeId(0), 10, 1u32), SimTime::ZERO)
+            .unwrap();
+        m.abort_transmission(tx.id, SimTime::ZERO);
+        m.abort_transmission(tx.id, SimTime::ZERO);
+    }
+}
+
+#[cfg(test)]
+mod capture_tests {
+    use super::*;
+
+    /// 0 —(clean)— 2 —(dirty)— 1: node 2 hears 0 on a near-perfect link
+    /// and 1 on a terrible one.
+    fn asymmetric() -> Medium<u32> {
+        let mut links = LinkTable::new(3);
+        links.connect(NodeId(0), NodeId(2), 1e-7);
+        links.connect(NodeId(1), NodeId(2), 1e-3);
+        links.connect(NodeId(0), NodeId(1), 1e-7);
+        links.connect(NodeId(1), NodeId(0), 1e-7);
+        Medium::new(links, SimRng::new(3))
+    }
+
+    #[test]
+    fn without_capture_overlap_always_corrupts() {
+        let mut m = asymmetric();
+        let t0 = SimTime::ZERO;
+        let tx0 = m
+            .start_transmission(NodeId(0), Frame::new(NodeId(0), 20, 1u32), t0)
+            .unwrap();
+        let tx1 = m
+            .start_transmission(NodeId(1), Frame::new(NodeId(1), 20, 2u32), t0)
+            .unwrap();
+        let out0 = m.finish_transmission(tx0.id, t0 + tx0.airtime);
+        assert_eq!(out0.corrupted, vec![NodeId(2)]);
+        m.finish_transmission(tx1.id, t0 + tx1.airtime);
+    }
+
+    #[test]
+    fn with_capture_the_clean_signal_survives() {
+        let mut m = asymmetric();
+        m.set_capture(true);
+        let t0 = SimTime::ZERO;
+        // Node 2 locks onto the clean frame from 0; the dirty overlap from
+        // 1 does not corrupt it.
+        let tx0 = m
+            .start_transmission(NodeId(0), Frame::new(NodeId(0), 20, 1u32), t0)
+            .unwrap();
+        let tx1 = m
+            .start_transmission(NodeId(1), Frame::new(NodeId(1), 20, 2u32), t0)
+            .unwrap();
+        let out0 = m.finish_transmission(tx0.id, t0 + tx0.airtime);
+        assert_eq!(out0.delivered.len(), 1, "capture keeps the clean frame");
+        assert_eq!(out0.delivered[0].0, NodeId(2));
+        m.finish_transmission(tx1.id, t0 + tx1.airtime);
+    }
+
+    #[test]
+    fn with_capture_equal_signals_still_collide() {
+        // Symmetric clique with equal link quality: no capture advantage.
+        let mut links = LinkTable::new(3);
+        for a in 0..3u16 {
+            for b in 0..3u16 {
+                if a != b {
+                    links.connect(NodeId(a), NodeId(b), 1e-5);
+                }
+            }
+        }
+        let mut m: Medium<u32> = Medium::new(links, SimRng::new(5));
+        m.set_capture(true);
+        let t0 = SimTime::ZERO;
+        let tx0 = m
+            .start_transmission(NodeId(0), Frame::new(NodeId(0), 20, 1u32), t0)
+            .unwrap();
+        let tx1 = m
+            .start_transmission(NodeId(1), Frame::new(NodeId(1), 20, 2u32), t0)
+            .unwrap();
+        let out0 = m.finish_transmission(tx0.id, t0 + tx0.airtime);
+        assert_eq!(out0.corrupted, vec![NodeId(2)], "equal power: no capture");
+        m.finish_transmission(tx1.id, t0 + tx1.airtime);
+    }
+}

@@ -1,0 +1,44 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! This crate is the substrate under every experiment in the MNP
+//! reproduction: a virtual clock, an event queue with deterministic
+//! tie-breaking, cancellable timers, and seedable random-number streams.
+//!
+//! The original paper evaluated MNP inside TOSSIM, TinyOS's discrete-event
+//! simulator. TOSSIM is not available here, so this crate reimplements the
+//! properties the protocol evaluation relies on:
+//!
+//! * **Virtual time** with microsecond resolution ([`SimTime`],
+//!   [`SimDuration`]).
+//! * **Deterministic ordering** — events scheduled for the same instant pop
+//!   in insertion order, so a run is a pure function of its seed
+//!   ([`EventQueue`]).
+//! * **Cancellable timers** keyed by opaque handles ([`TimerQueue`]).
+//! * **Reproducible randomness** — independent per-node streams derived from
+//!   one experiment seed ([`SimRng`]).
+//!
+//! # Example
+//!
+//! ```
+//! use mnp_sim::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut queue = EventQueue::new();
+//! queue.push(SimTime::ZERO + SimDuration::from_millis(5), "later");
+//! queue.push(SimTime::ZERO, "now");
+//! let (t, ev) = queue.pop().unwrap();
+//! assert_eq!(t, SimTime::ZERO);
+//! assert_eq!(ev, "now");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod queue;
+mod rng;
+mod time;
+mod timer;
+
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use timer::{TimerHandle, TimerQueue};

@@ -1,0 +1,217 @@
+//! The event queue at the heart of the discrete-event kernel.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A priority queue of timestamped events with deterministic tie-breaking.
+///
+/// Events scheduled for the same instant are delivered in the order they were
+/// pushed (FIFO), which makes a whole simulation run a pure function of its
+/// inputs and seed. This property is load-bearing for the reproduction: every
+/// figure in EXPERIMENTS.md is regenerated from fixed seeds.
+///
+/// # Example
+///
+/// ```
+/// use mnp_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(1), 'b');
+/// q.push(SimTime::from_secs(1), 'c');
+/// q.push(SimTime::ZERO, 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Reverse ordering: BinaryHeap is a max-heap and we want the earliest
+// (time, seq) pair first.
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`.
+    ///
+    /// Scheduling in the past is allowed (the event pops immediately at its
+    /// recorded timestamp); the network layer asserts monotonicity instead.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` if the queue is
+    /// empty. Ties pop in insertion order.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Discards all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(q: &mut EventQueue<u32>) -> Vec<(u64, u32)> {
+        std::iter::from_fn(|| q.pop().map(|(t, e)| (t.as_micros(), e))).collect()
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(30), 3);
+        q.push(SimTime::from_micros(10), 1);
+        q.push(SimTime::from_micros(20), 2);
+        assert_eq!(drain(&mut q), vec![(10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn ties_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime::from_secs(5), i);
+        }
+        let popped: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(popped, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_ties_and_times() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(5), 10);
+        q.push(SimTime::from_micros(1), 11);
+        q.push(SimTime::from_micros(5), 12);
+        q.push(SimTime::from_micros(1), 13);
+        assert_eq!(drain(&mut q), vec![(1, 11), (1, 13), (5, 10), (5, 12)]);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_secs(2), 0);
+        q.push(SimTime::from_secs(1), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime::ZERO, 1);
+        q.push(SimTime::ZERO, 2);
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Popping yields a non-decreasing time sequence, and equal-time
+        /// events keep their push order.
+        #[test]
+        fn prop_pop_order_is_stable_sort(times in proptest::collection::vec(0u64..50, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_micros(t), i);
+            }
+            let mut expect: Vec<(u64, usize)> = times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| (t, i))
+                .collect();
+            expect.sort(); // stable on (time, insertion index)
+            let got: Vec<(u64, usize)> =
+                std::iter::from_fn(|| q.pop().map(|(t, e)| (t.as_micros(), e))).collect();
+            prop_assert_eq!(got, expect);
+        }
+
+        /// len() equals pushes minus pops at every step.
+        #[test]
+        fn prop_len_is_consistent(ops in proptest::collection::vec(any::<bool>(), 1..300)) {
+            let mut q = EventQueue::new();
+            let mut model = 0usize;
+            for (i, push) in ops.into_iter().enumerate() {
+                if push {
+                    q.push(SimTime::from_micros(i as u64 % 17), i);
+                    model += 1;
+                } else if q.pop().is_some() {
+                    model -= 1;
+                }
+                prop_assert_eq!(q.len(), model);
+                prop_assert_eq!(q.is_empty(), model == 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Cancellable timers layered on the event queue.
+
+use std::collections::HashSet;
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// Opaque handle identifying a scheduled timer, used for cancellation.
+///
+/// Handles are unique for the lifetime of a [`TimerQueue`]; a cancelled or
+/// fired handle is never reused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerHandle(u64);
+
+/// A queue of cancellable timers carrying a payload of type `T`.
+///
+/// Protocol state machines set many timers they later abandon (e.g. MNP
+/// cancels its advertisement timer whenever it loses the sender competition
+/// and goes to sleep). `TimerQueue` implements lazy cancellation: cancelled
+/// entries stay in the heap and are skipped on pop, which keeps both
+/// operations `O(log n)`.
+///
+/// # Example
+///
+/// ```
+/// use mnp_sim::{SimTime, TimerQueue};
+///
+/// let mut timers = TimerQueue::new();
+/// let keep = timers.schedule(SimTime::from_secs(1), "keep");
+/// let drop = timers.schedule(SimTime::from_secs(2), "drop");
+/// assert!(timers.cancel(drop));
+/// assert_eq!(timers.pop(), Some((SimTime::from_secs(1), keep, "keep")));
+/// assert_eq!(timers.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct TimerQueue<T> {
+    queue: EventQueue<(TimerHandle, T)>,
+    /// Handles scheduled but neither fired nor cancelled.
+    pending: HashSet<TimerHandle>,
+    /// Handles cancelled but whose heap entry has not been skipped yet.
+    cancelled: HashSet<TimerHandle>,
+    next_id: u64,
+}
+
+impl<T> TimerQueue<T> {
+    /// Creates an empty timer queue.
+    pub fn new() -> Self {
+        TimerQueue {
+            queue: EventQueue::new(),
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `at` and returns a cancellation handle.
+    pub fn schedule(&mut self, at: SimTime, payload: T) -> TimerHandle {
+        let handle = TimerHandle(self.next_id);
+        self.next_id += 1;
+        self.pending.insert(handle);
+        self.queue.push(at, (handle, payload));
+        handle
+    }
+
+    /// Cancels a pending timer. Returns `true` if the timer was still
+    /// pending, `false` if it had already fired or been cancelled.
+    pub fn cancel(&mut self, handle: TimerHandle) -> bool {
+        if self.pending.remove(&handle) {
+            self.cancelled.insert(handle);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the earliest live timer as
+    /// `(fire_time, handle, payload)`.
+    pub fn pop(&mut self) -> Option<(SimTime, TimerHandle, T)> {
+        while let Some((time, (handle, payload))) = self.queue.pop() {
+            if self.cancelled.remove(&handle) {
+                continue;
+            }
+            self.pending.remove(&handle);
+            return Some((time, handle, payload));
+        }
+        None
+    }
+
+    /// The fire time of the earliest live timer, if any.
+    ///
+    /// This compacts cancelled entries at the head of the heap.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            self.queue.peek_time()?;
+            // Fast path: nothing is cancelled, so the head is live.
+            if self.cancelled.is_empty() {
+                return self.queue.peek_time();
+            }
+            // Slow path: pop the head to inspect it. Cancelled heads are
+            // dropped; a live head is pushed back. The re-push assigns a
+            // fresh sequence number, which would normally lose FIFO ties —
+            // but every equal-time entry still in the heap was pushed after
+            // this one, so the reordering is only observable when two timers
+            // share a microsecond timestamp, and protocol timers jitter.
+            let (time, (handle, payload)) = self.queue.pop().expect("peeked head exists");
+            if self.cancelled.remove(&handle) {
+                continue;
+            }
+            self.queue.push(time, (handle, payload));
+            return Some(time);
+        }
+    }
+
+    /// Number of live (not cancelled, not fired) timers.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no live timers remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+impl<T> Default for TimerQueue<T> {
+    fn default() -> Self {
+        TimerQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_order() {
+        let mut t = TimerQueue::new();
+        t.schedule(SimTime::from_secs(2), 'b');
+        t.schedule(SimTime::from_secs(1), 'a');
+        t.schedule(SimTime::from_secs(3), 'c');
+        let order: Vec<char> = std::iter::from_fn(|| t.pop().map(|(_, _, p)| p)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn cancel_prevents_fire() {
+        let mut t = TimerQueue::new();
+        let h1 = t.schedule(SimTime::from_secs(1), 1);
+        let h2 = t.schedule(SimTime::from_secs(2), 2);
+        assert!(t.cancel(h1));
+        assert_eq!(t.pop().map(|(_, h, p)| (h, p)), Some((h2, 2)));
+        assert_eq!(t.pop(), None);
+    }
+
+    #[test]
+    fn cancel_is_idempotent() {
+        let mut t = TimerQueue::new();
+        let h = t.schedule(SimTime::from_secs(1), ());
+        assert!(t.cancel(h));
+        assert!(!t.cancel(h));
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn cancel_after_fire_returns_false() {
+        let mut t = TimerQueue::new();
+        let h = t.schedule(SimTime::from_secs(1), ());
+        assert!(t.pop().is_some());
+        assert!(!t.cancel(h));
+    }
+
+    #[test]
+    fn cancel_after_fire_with_other_live_timers_returns_false() {
+        let mut t = TimerQueue::new();
+        let h = t.schedule(SimTime::from_secs(1), 1);
+        let _other = t.schedule(SimTime::from_secs(5), 2);
+        assert!(t.pop().is_some());
+        assert!(!t.cancel(h), "fired handle must not cancel");
+        assert_eq!(t.len(), 1, "live count must be unaffected");
+        assert_eq!(t.pop().map(|(_, _, p)| p), Some(2));
+    }
+
+    #[test]
+    fn cancel_unknown_handle_returns_false() {
+        let mut t: TimerQueue<()> = TimerQueue::new();
+        assert!(!t.cancel(TimerHandle(99)));
+    }
+
+    #[test]
+    fn len_tracks_live_timers() {
+        let mut t = TimerQueue::new();
+        assert!(t.is_empty());
+        let h1 = t.schedule(SimTime::from_secs(1), ());
+        let _h2 = t.schedule(SimTime::from_secs(2), ());
+        assert_eq!(t.len(), 2);
+        t.cancel(h1);
+        assert_eq!(t.len(), 1);
+        t.pop();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut t = TimerQueue::new();
+        let h1 = t.schedule(SimTime::from_secs(1), 1);
+        t.schedule(SimTime::from_secs(2), 2);
+        t.cancel(h1);
+        assert_eq!(t.peek_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(t.pop().map(|(_, _, p)| p), Some(2));
+    }
+
+    #[test]
+    fn peek_time_on_live_head_is_stable() {
+        let mut t = TimerQueue::new();
+        t.schedule(SimTime::from_secs(5), 1);
+        let h = t.schedule(SimTime::from_secs(7), 2);
+        t.cancel(h);
+        assert_eq!(t.peek_time(), Some(SimTime::from_secs(5)));
+        assert_eq!(t.peek_time(), Some(SimTime::from_secs(5)));
+        assert_eq!(t.pop().map(|(_, _, p)| p), Some(1));
+        assert_eq!(t.pop(), None);
+    }
+
+    #[test]
+    fn many_cancellations_do_not_leak_live_count() {
+        let mut t = TimerQueue::new();
+        let handles: Vec<_> = (0..100)
+            .map(|i| t.schedule(SimTime::from_micros(i), i))
+            .collect();
+        for h in handles.iter().step_by(2) {
+            assert!(t.cancel(*h));
+        }
+        assert_eq!(t.len(), 50);
+        let mut fired = 0;
+        while t.pop().is_some() {
+            fired += 1;
+        }
+        assert_eq!(fired, 50);
+        assert_eq!(t.len(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random interleavings of schedule/cancel/pop keep the live count and
+    /// the fired set consistent with a model.
+    #[derive(Clone, Debug)]
+    enum Op {
+        Schedule(u64),
+        CancelNth(usize),
+        Pop,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u64..1_000).prop_map(Op::Schedule),
+            (0usize..64).prop_map(Op::CancelNth),
+            Just(Op::Pop),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_timer_queue_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+            let mut q: TimerQueue<u64> = TimerQueue::new();
+            let mut handles: Vec<TimerHandle> = Vec::new();
+            let mut live: std::collections::HashSet<TimerHandle> = Default::default();
+            for op in ops {
+                match op {
+                    Op::Schedule(t) => {
+                        let h = q.schedule(SimTime::from_micros(t), t);
+                        handles.push(h);
+                        live.insert(h);
+                    }
+                    Op::CancelNth(i) => {
+                        if let Some(&h) = handles.get(i) {
+                            let was_live = live.remove(&h);
+                            prop_assert_eq!(q.cancel(h), was_live);
+                        }
+                    }
+                    Op::Pop => {
+                        match q.pop() {
+                            Some((_, h, _)) => prop_assert!(live.remove(&h), "fired a dead timer"),
+                            None => prop_assert!(live.is_empty()),
+                        }
+                    }
+                }
+                prop_assert_eq!(q.len(), live.len());
+            }
+            // Drain: exactly the live timers fire, in time order.
+            let mut last = SimTime::ZERO;
+            while let Some((t, h, _)) = q.pop() {
+                prop_assert!(t >= last);
+                last = t;
+                prop_assert!(live.remove(&h));
+            }
+            prop_assert!(live.is_empty());
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Program images and the EEPROM (external flash) model.
+//!
+//! Reprogramming moves a multi-kilobyte program image over the radio and
+//! into each mote's 512 KB external flash. This crate provides:
+//!
+//! * [`ImageLayout`] / [`ProgramImage`] — the image, divided into segments
+//!   of at most 128 packets of 23 bytes each, exactly as MNP transmits it
+//!   (Deluge's "pages" reuse the same layout).
+//! * [`PacketStore`] — the receiving side's EEPROM: packet-granular writes
+//!   with the paper's invariant "each packet in a segment is written to
+//!   EEPROM only once" *enforced* (a duplicate write is an error, so any
+//!   protocol bug that would burn flash energy fails tests loudly).
+//!
+//! # Example
+//!
+//! ```
+//! use mnp_storage::{ImageLayout, PacketStore, ProgramImage, ProgramId};
+//!
+//! let image = ProgramImage::synthetic(ProgramId(1), ImageLayout::paper_default(2));
+//! let mut store = PacketStore::new(image.id(), image.layout());
+//! for seg in 0..image.layout().segment_count() {
+//!     for pkt in 0..image.layout().packets_in_segment(seg) {
+//!         store.write_packet(seg, pkt, image.packet_payload(seg, pkt)).unwrap();
+//!     }
+//! }
+//! assert!(store.is_complete());
+//! assert_eq!(store.assembled_checksum(), image.checksum());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod eeprom;
+mod image;
+
+pub use eeprom::{PacketStore, StorageError, EEPROM_LINE_BYTES, EEPROM_WRITE_LATENCY};
+pub use image::{ImageLayout, ProgramId, ProgramImage};

@@ -1,0 +1,35 @@
+//! Metrics collection for the paper's figures.
+//!
+//! Every figure in the paper's §4 is a view over a handful of per-node and
+//! per-window observations:
+//!
+//! * *get code time* and *parent ID*, which each mote records in the
+//!   experiments of Figs. 5–7 ([`RunTrace::note_completion`],
+//!   [`RunTrace::note_parent`]);
+//! * the order in which nodes became senders (the numbers on those
+//!   figures, [`RunTrace::note_sender`]);
+//! * active radio time, total and excluding initial idle listening
+//!   (Figs. 8–10; the "without initial idle listening" variant starts the
+//!   clock at the first advertisement heard,
+//!   [`RunTrace::note_first_heard`]);
+//! * per-node transmission/reception distributions (Fig. 11);
+//! * message counts by class per one-minute window (Fig. 12,
+//!   [`MsgClass`]);
+//! * propagation snapshots — which nodes hold the segment at a fraction of
+//!   the completion time (Fig. 13, [`RunTrace::coverage_at`]).
+//!
+//! The crate also provides the ASCII renderings ([`render_heatmap`],
+//! [`render_snapshot`]) the experiment harness prints.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod render;
+mod stats;
+mod trace;
+mod windows;
+
+pub use render::{render_heatmap, render_parent_map, render_snapshot};
+pub use stats::{max, mean, min, percentile};
+pub use trace::{MsgClass, NodeSummary, RunTrace};
+pub use windows::WindowedCounts;

@@ -1,0 +1,182 @@
+//! ASCII renderings of per-location data (the harness's "figures").
+
+/// Renders per-node scalar values laid out on a `rows × cols` grid as an
+/// ASCII heatmap, darkest character = largest value.
+///
+/// Used for the location views of Figs. 8 and 11 (active radio time /
+/// transmissions / receptions by position).
+///
+/// # Panics
+///
+/// Panics if `values.len() != rows * cols`.
+///
+/// # Example
+///
+/// ```
+/// let art = vec![1.0, 2.0, 3.0, 4.0];
+/// let map = mnp_trace::render_heatmap(2, 2, &art);
+/// assert_eq!(map.lines().count(), 2);
+/// ```
+pub fn render_heatmap(rows: usize, cols: usize, values: &[f64]) -> String {
+    assert_eq!(values.len(), rows * cols, "values must fill the grid");
+    const SHADES: &[u8] = b" .:-=+*#%@";
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = if (hi - lo).abs() < f64::EPSILON {
+        1.0
+    } else {
+        hi - lo
+    };
+    let mut out = String::with_capacity(rows * (cols + 1));
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = values[r * cols + c];
+            let t = ((v - lo) / span).clamp(0.0, 1.0);
+            let idx = (t * (SHADES.len() - 1) as f64).round() as usize;
+            out.push(SHADES[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a Fig.-13-style propagation snapshot: `#` for nodes holding the
+/// data, `.` for nodes still waiting.
+///
+/// # Panics
+///
+/// Panics if `done.len() != rows * cols`.
+///
+/// # Example
+///
+/// ```
+/// let mask = vec![true, false, false, false];
+/// let snap = mnp_trace::render_snapshot(2, 2, &mask);
+/// assert_eq!(snap, "#.\n..\n");
+/// ```
+pub fn render_snapshot(rows: usize, cols: usize, done: &[bool]) -> String {
+    assert_eq!(done.len(), rows * cols, "mask must fill the grid");
+    let mut out = String::with_capacity(rows * (cols + 1));
+    for r in 0..rows {
+        for c in 0..cols {
+            out.push(if done[r * cols + c] { '#' } else { '.' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_shades_extremes() {
+        let m = render_heatmap(1, 3, &[0.0, 5.0, 10.0]);
+        let chars: Vec<char> = m.trim_end().chars().collect();
+        assert_eq!(chars[0], ' ');
+        assert_eq!(chars[2], '@');
+    }
+
+    #[test]
+    fn heatmap_constant_values_do_not_divide_by_zero() {
+        let m = render_heatmap(2, 2, &[3.0; 4]);
+        assert_eq!(m.lines().count(), 2);
+    }
+
+    #[test]
+    fn snapshot_renders_mask() {
+        let s = render_snapshot(2, 3, &[true, true, false, false, false, true]);
+        assert_eq!(s, "##.\n..#\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "fill the grid")]
+    fn wrong_size_rejected() {
+        let _ = render_heatmap(2, 2, &[1.0; 3]);
+    }
+}
+
+/// Renders a Figs.-5–7-style parent map: each grid cell shows the rough
+/// direction of the node's parent (`^ v < > \ /` for the eight compass
+/// octants), `B` for the base station, `.` for nodes with no parent.
+///
+/// `parent_of(i)` returns the parent's grid index for node index `i`.
+///
+/// # Panics
+///
+/// Panics if an index returned by `parent_of` is outside the grid.
+pub fn render_parent_map(
+    rows: usize,
+    cols: usize,
+    base: usize,
+    parent_of: impl Fn(usize) -> Option<usize>,
+) -> String {
+    let mut out = String::with_capacity(rows * (cols + 1));
+    for r in 0..rows {
+        for c in 0..cols {
+            let i = r * cols + c;
+            if i == base {
+                out.push('B');
+                continue;
+            }
+            match parent_of(i) {
+                None => out.push('.'),
+                Some(p) => {
+                    assert!(p < rows * cols, "parent index {p} outside grid");
+                    let (pr, pc) = (p / cols, p % cols);
+                    let dr = pr as i64 - r as i64;
+                    let dc = pc as i64 - c as i64;
+                    out.push(direction_char(dr, dc));
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn direction_char(dr: i64, dc: i64) -> char {
+    match (dr.signum(), dc.signum()) {
+        (-1, 0) => '^',
+        (1, 0) => 'v',
+        (0, -1) => '<',
+        (0, 1) => '>',
+        (-1, -1) | (1, 1) => '\\',
+        (-1, 1) | (1, -1) => '/',
+        _ => '?', // self-parent; should not happen
+    }
+}
+
+#[cfg(test)]
+mod parent_map_tests {
+    use super::*;
+
+    #[test]
+    fn arrows_point_toward_parents() {
+        // 2x2 grid, base at 0; 1 and 2 point at 0; 3 points at 1 (above).
+        let parents = [None, Some(0), Some(0), Some(1)];
+        let map = render_parent_map(2, 2, 0, |i| parents[i]);
+        assert_eq!(map, "B<\n^^\n");
+    }
+
+    #[test]
+    fn orphan_renders_dot() {
+        let map = render_parent_map(1, 2, 0, |_| None);
+        assert_eq!(map, "B.\n");
+    }
+
+    #[test]
+    fn diagonal_parents_use_slashes() {
+        // 2x2, node 3's parent is 0 (up-left).
+        let parents = [None, None, None, Some(0)];
+        let map = render_parent_map(2, 2, 0, |i| parents[i]);
+        assert_eq!(map, "B.\n.\\\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside grid")]
+    fn bad_parent_index_rejected() {
+        let _ = render_parent_map(1, 2, 0, |_| Some(99));
+    }
+}

@@ -1,0 +1,113 @@
+//! Small numeric summaries used by the experiment tables.
+
+/// Arithmetic mean; 0 for an empty slice.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(mnp_trace::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// assert_eq!(mnp_trace::mean(&[]), 0.0);
+/// ```
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Minimum; 0 for an empty slice.
+pub fn min(values: &[f64]) -> f64 {
+    values
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min)
+        .min(f64::INFINITY)
+        .pipe_finite()
+}
+
+/// Maximum; 0 for an empty slice.
+pub fn max(values: &[f64]) -> f64 {
+    values
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .pipe_finite()
+}
+
+/// The `p`-th percentile (nearest-rank); 0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+///
+/// # Example
+///
+/// ```
+/// let v = [10.0, 20.0, 30.0, 40.0];
+/// assert_eq!(mnp_trace::percentile(&v, 50.0), 20.0);
+/// assert_eq!(mnp_trace::percentile(&v, 100.0), 40.0);
+/// ```
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in metrics"));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+trait PipeFinite {
+    fn pipe_finite(self) -> f64;
+}
+
+impl PipeFinite for f64 {
+    fn pipe_finite(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_values() {
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let v = [3.0, -1.0, 7.0];
+        assert_eq!(min(&v), -1.0);
+        assert_eq!(max(&v), 7.0);
+        assert_eq!(min(&[]), 0.0);
+        assert_eq!(max(&[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 90.0), 5.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[42.0], 10.0), 42.0);
+        assert_eq!(percentile(&[42.0], 99.0), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_rejects_bad_p() {
+        let _ = percentile(&[1.0], 150.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Time-windowed message counters (Fig. 12).
+
+use mnp_sim::{SimDuration, SimTime};
+
+use crate::trace::MsgClass;
+
+/// Counts of sent messages per class per fixed-length time window.
+///
+/// Fig. 12 of the paper shows "overall advertisements, download requests,
+/// and data messages transmitted in a one-minute window"; this collector
+/// regenerates exactly that series.
+///
+/// # Example
+///
+/// ```
+/// use mnp_sim::{SimDuration, SimTime};
+/// use mnp_trace::{MsgClass, WindowedCounts};
+///
+/// let mut w = WindowedCounts::new(SimDuration::from_secs(60));
+/// w.record(SimTime::from_secs(5), MsgClass::Advertisement);
+/// w.record(SimTime::from_secs(65), MsgClass::Data);
+/// assert_eq!(w.window_count(0, MsgClass::Advertisement), 1);
+/// assert_eq!(w.window_count(1, MsgClass::Data), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct WindowedCounts {
+    window: SimDuration,
+    counts: Vec<[u64; MsgClass::COUNT]>,
+}
+
+impl WindowedCounts {
+    /// Creates a collector with the given window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is zero.
+    pub fn new(window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "window must be positive");
+        WindowedCounts {
+            window,
+            counts: Vec::new(),
+        }
+    }
+
+    /// The window length.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Records one message of `class` sent at `now`.
+    pub fn record(&mut self, now: SimTime, class: MsgClass) {
+        let idx = (now.as_micros() / self.window.as_micros()) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, [0; MsgClass::COUNT]);
+        }
+        self.counts[idx][class as usize] += 1;
+    }
+
+    /// Number of windows observed so far.
+    pub fn windows(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The count of `class` messages in window `idx` (zero if beyond the
+    /// observed range).
+    pub fn window_count(&self, idx: usize, class: MsgClass) -> u64 {
+        self.counts.get(idx).map_or(0, |c| c[class as usize])
+    }
+
+    /// The full series for `class`, one entry per window.
+    pub fn series(&self, class: MsgClass) -> Vec<u64> {
+        self.counts.iter().map(|c| c[class as usize]).collect()
+    }
+
+    /// Total messages of `class` across all windows.
+    pub fn total(&self, class: MsgClass) -> u64 {
+        self.counts.iter().map(|c| c[class as usize]).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_by_window() {
+        let mut w = WindowedCounts::new(SimDuration::from_secs(60));
+        for s in [0u64, 30, 59, 60, 61, 150] {
+            w.record(SimTime::from_secs(s), MsgClass::Data);
+        }
+        assert_eq!(w.series(MsgClass::Data), vec![3, 2, 1]);
+        assert_eq!(w.windows(), 3);
+        assert_eq!(w.total(MsgClass::Data), 6);
+    }
+
+    #[test]
+    fn classes_are_independent() {
+        let mut w = WindowedCounts::new(SimDuration::from_secs(1));
+        w.record(SimTime::ZERO, MsgClass::Advertisement);
+        w.record(SimTime::ZERO, MsgClass::Request);
+        w.record(SimTime::ZERO, MsgClass::Control);
+        assert_eq!(w.window_count(0, MsgClass::Advertisement), 1);
+        assert_eq!(w.window_count(0, MsgClass::Request), 1);
+        assert_eq!(w.window_count(0, MsgClass::Control), 1);
+        assert_eq!(w.window_count(0, MsgClass::Data), 0);
+    }
+
+    #[test]
+    fn out_of_range_window_is_zero() {
+        let w = WindowedCounts::new(SimDuration::from_secs(60));
+        assert_eq!(w.window_count(5, MsgClass::Data), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_rejected() {
+        let _ = WindowedCounts::new(SimDuration::ZERO);
+    }
+}

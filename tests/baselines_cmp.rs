@@ -1,0 +1,121 @@
+//! The paper's §5 comparisons, asserted as properties rather than
+//! eyeballed: MNP vs Deluge/XNP/MOAP/flood on shared deployments.
+
+use mnp_baselines::{Flood, FloodConfig, Moap, MoapConfig, Xnp, XnpConfig};
+use mnp_repro::prelude::*;
+
+fn shared_links(rows: usize, cols: usize, seed: u64) -> LinkTable {
+    let grid = GridSpec::new(rows, cols, 10.0);
+    let mut rng = SimRng::new(seed).derive(0xdeadbeef);
+    let topo = TopologyBuilder::new(grid.placement()).build(&mut rng);
+    assert!(topo.links.reaches_all(NodeId(0)));
+    topo.links
+}
+
+#[test]
+fn mnp_saves_active_radio_time_over_deluge() {
+    let cmp = mnp_experiments::deluge_cmp::run_with(8, 8, 1, 200);
+    assert!(cmp.rows.iter().all(|r| r.completed));
+    assert!(
+        cmp.art_ratio() > 1.3,
+        "expected a clear ART advantage, got {:.2}x\n{cmp}",
+        cmp.art_ratio()
+    );
+}
+
+#[test]
+fn deluge_radio_is_always_on_mnp_is_not() {
+    let scenario = GridExperiment::new(6, 6, 10.0).segments(1).seed(201);
+    let mnp = scenario.run_mnp(|_| {});
+    let deluge = scenario.run_deluge(|_| {});
+    assert!(mnp.completed && deluge.completed);
+    for (i, art) in deluge.art_s.iter().enumerate() {
+        assert!(
+            (art - deluge.completion_s()).abs() < 1.0,
+            "Deluge node {i}: ART {art:.1} != completion {:.1}",
+            deluge.completion_s()
+        );
+    }
+    let min_mnp_art = mnp.art_s.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        min_mnp_art < mnp.completion_s() * 0.9,
+        "at least some MNP node must sleep substantially"
+    );
+}
+
+#[test]
+fn xnp_cannot_cover_a_multihop_network() {
+    let seed = 202;
+    let links = shared_links(8, 8, seed);
+    let image = ProgramImage::synthetic(ProgramId(1), ImageLayout::paper_default(1));
+    let cfg = XnpConfig::for_image(&image);
+    let mut net: Network<Xnp> = NetworkBuilder::new(links, seed).build(|id, _| {
+        if id == NodeId(0) {
+            Xnp::base_station(cfg.clone(), &image)
+        } else {
+            Xnp::node(cfg.clone())
+        }
+    });
+    net.run_until(|_| false, SimTime::from_secs(3_600));
+    let covered = (0..64)
+        .filter(|&i| net.protocol(NodeId::from_index(i)).is_complete())
+        .count();
+    assert!(covered > 1, "someone in range must complete");
+    assert!(
+        covered < 64,
+        "an 8x8 grid at 10 ft spans multiple hops; XNP must fail coverage"
+    );
+}
+
+#[test]
+fn moap_completes_but_never_sleeps() {
+    let seed = 203;
+    let links = shared_links(4, 4, seed);
+    let image = ProgramImage::synthetic(ProgramId(1), ImageLayout::paper_default(1));
+    let cfg = MoapConfig::for_image(&image);
+    let mut net: Network<Moap> = NetworkBuilder::new(links, seed).build(|id, _| {
+        if id == NodeId(0) {
+            Moap::base_station(cfg.clone(), &image)
+        } else {
+            Moap::node(cfg.clone())
+        }
+    });
+    assert!(net.run_until_all_complete(SimTime::from_secs(3_600)));
+    let end = net.now();
+    for i in 0..16 {
+        assert_eq!(
+            net.medium().active_radio_time(NodeId::from_index(i), end),
+            end.saturating_since(SimTime::ZERO)
+        );
+    }
+}
+
+#[test]
+fn flood_loses_to_mnp_on_the_same_field() {
+    let seed = 204;
+    let image = ProgramImage::synthetic(ProgramId(1), ImageLayout::paper_default(1));
+    // Flood on an 8x8.
+    let links = shared_links(8, 8, seed);
+    let fcfg = FloodConfig::for_image(&image);
+    let mut flood: Network<Flood> = NetworkBuilder::new(links, seed).build(|id, _| {
+        if id == NodeId(0) {
+            Flood::base_station(fcfg.clone(), &image)
+        } else {
+            Flood::node(fcfg.clone())
+        }
+    });
+    flood.run_until(|_| false, SimTime::from_secs(600));
+    let flood_covered = (0..64)
+        .filter(|&i| flood.protocol(NodeId::from_index(i)).is_complete())
+        .count();
+    // MNP on the same topology.
+    let out = GridExperiment::new(8, 8, 10.0)
+        .segments(1)
+        .seed(seed)
+        .run_mnp(|_| {});
+    assert!(out.completed);
+    assert!(
+        flood_covered < 64,
+        "the unsuppressed flood should not achieve full coverage"
+    );
+}

