@@ -337,6 +337,7 @@ impl Deluge {
         self.store
             .write_packet(page, pkt, payload)
             .expect("has_packet checked");
+        ctx.note_eeprom_write(page, pkt);
         ctx.note_parent(from);
         if self.state == State::Rx && page == self.rx_page {
             self.rx_missing.clear(pkt);
@@ -548,6 +549,14 @@ impl Protocol for Deluge {
         EepromOps {
             line_reads: self.store.line_reads,
             line_writes: self.store.line_writes,
+        }
+    }
+
+    fn state_label(&self) -> &'static str {
+        match self.state {
+            State::Maintain => "Maintain",
+            State::Rx => "Rx",
+            State::Tx => "Tx",
         }
     }
 }

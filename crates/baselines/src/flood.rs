@@ -199,6 +199,7 @@ impl Protocol for Flood {
         self.store
             .write_packet(*seg, *pkt, payload)
             .expect("has_packet checked");
+        ctx.note_eeprom_write(*seg, *pkt);
         ctx.note_parent(from);
         if !self.completed && self.store.is_complete() {
             assert_eq!(
@@ -258,6 +259,16 @@ impl Protocol for Flood {
         EepromOps {
             line_reads: self.store.line_reads,
             line_writes: self.store.line_writes,
+        }
+    }
+
+    fn state_label(&self) -> &'static str {
+        if self.is_base {
+            "Broadcast"
+        } else if self.completed {
+            "Complete"
+        } else {
+            "Listen"
         }
     }
 }

@@ -308,6 +308,7 @@ impl Moap {
         self.store
             .write_packet(seg, pkt, payload)
             .expect("has_packet checked");
+        ctx.note_eeprom_write(seg, pkt);
         ctx.note_parent(from);
         if self.state == State::Rx {
             self.rx_deadline = ctx.now + self.cfg.rx_timeout;
@@ -518,6 +519,17 @@ impl Protocol for Moap {
         EepromOps {
             line_reads: self.store.line_reads,
             line_writes: self.store.line_writes,
+        }
+    }
+
+    fn state_label(&self) -> &'static str {
+        match self.state {
+            State::Idle => "Idle",
+            State::Publish => "Publish",
+            State::GatherSubs => "GatherSubs",
+            State::Tx => "Tx",
+            State::Repair => "Repair",
+            State::Rx => "Rx",
         }
     }
 }

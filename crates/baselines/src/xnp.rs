@@ -189,6 +189,7 @@ impl Protocol for Xnp {
             self.store
                 .write_packet(*seg, *pkt, payload)
                 .expect("has_packet checked");
+            ctx.note_eeprom_write(*seg, *pkt);
             ctx.note_parent(from);
             if self.store.is_complete() {
                 assert_eq!(
@@ -237,6 +238,20 @@ impl Protocol for Xnp {
         EepromOps {
             line_reads: self.store.line_reads,
             line_writes: self.store.line_writes,
+        }
+    }
+
+    fn state_label(&self) -> &'static str {
+        if self.is_base {
+            if self.pass >= self.cfg.max_passes {
+                "Done"
+            } else {
+                "Broadcast"
+            }
+        } else if self.completed {
+            "Complete"
+        } else {
+            "Listen"
         }
     }
 }

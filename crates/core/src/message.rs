@@ -4,7 +4,9 @@
 //! largest message (a download request carrying a 16-byte `MissingVector`)
 //! still fits one TinyOS radio packet.
 
-use mnp_net::WireMsg;
+use std::fmt;
+
+use mnp_net::{MsgDetail, WireMsg};
 use mnp_radio::NodeId;
 use mnp_storage::ProgramId;
 use mnp_trace::MsgClass;
@@ -105,6 +107,53 @@ pub enum MnpMsg {
     },
 }
 
+impl MnpMsg {
+    /// The variant's name, stable across runs (used as the observability
+    /// `kind` label).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            MnpMsg::Advertisement(_) => "Advertisement",
+            MnpMsg::DownloadRequest(_) => "DownloadRequest",
+            MnpMsg::StartDownload { .. } => "StartDownload",
+            MnpMsg::Data(_) => "Data",
+            MnpMsg::EndDownload { .. } => "EndDownload",
+            MnpMsg::Query { .. } => "Query",
+            MnpMsg::Repair { .. } => "Repair",
+        }
+    }
+}
+
+impl fmt::Display for MnpMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MnpMsg::Advertisement(a) => write!(
+                f,
+                "Advertisement(src={} seg={} req_ctr={})",
+                a.source.0, a.seg, a.req_ctr
+            ),
+            MnpMsg::DownloadRequest(r) => write!(
+                f,
+                "DownloadRequest(dest={} from={} seg={} req_ctr={})",
+                r.dest.0, r.requester.0, r.seg, r.dest_req_ctr
+            ),
+            MnpMsg::StartDownload { source, seg } => {
+                write!(f, "StartDownload(src={} seg={seg})", source.0)
+            }
+            MnpMsg::Data(d) => write!(f, "Data(seg={} pkt={})", d.seg, d.pkt),
+            MnpMsg::EndDownload { source, seg } => {
+                write!(f, "EndDownload(src={} seg={seg})", source.0)
+            }
+            MnpMsg::Query { source, seg } => write!(f, "Query(src={} seg={seg})", source.0),
+            MnpMsg::Repair {
+                dest,
+                requester,
+                seg,
+                ..
+            } => write!(f, "Repair(dest={} from={} seg={seg})", dest.0, requester.0),
+        }
+    }
+}
+
 impl WireMsg for MnpMsg {
     fn wire_bytes(&self) -> usize {
         match self {
@@ -132,6 +181,30 @@ impl WireMsg for MnpMsg {
             | MnpMsg::EndDownload { .. }
             | MnpMsg::Query { .. }
             | MnpMsg::Repair { .. } => MsgClass::Control,
+        }
+    }
+
+    fn kind_label(&self) -> &'static str {
+        self.kind_name()
+    }
+
+    fn detail(&self) -> MsgDetail {
+        match self {
+            MnpMsg::Advertisement(a) => MsgDetail::Advertisement {
+                source: a.source,
+                seg: a.seg,
+                req_ctr: a.req_ctr,
+            },
+            MnpMsg::DownloadRequest(r) => MsgDetail::Request {
+                dest: r.dest,
+                seg: r.seg,
+                req_ctr: r.dest_req_ctr,
+            },
+            MnpMsg::Data(d) => MsgDetail::Data {
+                seg: d.seg,
+                pkt: d.pkt,
+            },
+            _ => MsgDetail::Opaque,
         }
     }
 }

@@ -33,6 +33,27 @@ pub enum MnpState {
     Sleep,
 }
 
+impl MnpState {
+    /// Stable label for timelines, logs and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            MnpState::Idle => "Idle",
+            MnpState::Advertise => "Advertise",
+            MnpState::Download => "Download",
+            MnpState::Forward => "Forward",
+            MnpState::Query => "Query",
+            MnpState::Update => "Update",
+            MnpState::Sleep => "Sleep",
+        }
+    }
+}
+
+impl std::fmt::Display for MnpState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Per-node protocol counters surfaced to the experiment harness.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MnpStats {
@@ -474,6 +495,7 @@ impl Mnp {
 
     fn finish_segment(&mut self, ctx: &mut Context<'_, MnpMsg>) {
         debug_assert!(self.store.segment_complete(self.dl_seg));
+        ctx.note_segment_complete(self.dl_seg);
         self.requested_from.clear();
         if !self.completed && self.store.is_complete() {
             assert_eq!(
@@ -622,6 +644,7 @@ impl Mnp {
                     self.store
                         .write_packet(d.seg, d.pkt, &d.payload)
                         .expect("missing bit set implies not yet written");
+                    ctx.note_eeprom_write(d.seg, d.pkt);
                     self.missing.clear(d.pkt);
                 }
                 self.arm_dl_timeout(ctx);
@@ -636,6 +659,7 @@ impl Mnp {
                     self.store
                         .write_packet(d.seg, d.pkt, &d.payload)
                         .expect("missing bit set implies not yet written");
+                    ctx.note_eeprom_write(d.seg, d.pkt);
                     self.missing.clear(d.pkt);
                     // Progress: the retry budget resets.
                     self.update_retries = 0;
@@ -658,6 +682,7 @@ impl Mnp {
                         self.store
                             .write_packet(d.seg, d.pkt, &d.payload)
                             .expect("has_packet checked");
+                        ctx.note_eeprom_write(d.seg, d.pkt);
                         ctx.note_parent(from);
                         if self.store.segment_complete(d.seg) {
                             // Completed the segment purely by listening.
@@ -941,6 +966,12 @@ impl Protocol for Mnp {
     type Msg = MnpMsg;
 
     fn on_start(&mut self, ctx: &mut Context<'_, MnpMsg>) {
+        // Segments already on flash (a preloaded prefix, or the base's full
+        // image) are reported up front so observers' in-order segment
+        // accounting starts from the right baseline.
+        for seg in 0..self.expected_seg() {
+            ctx.note_segment_complete(seg);
+        }
         if self.is_base {
             ctx.note_completion();
             self.quiet_gap = self.cfg.quiet_gap_initial;
@@ -995,6 +1026,10 @@ impl Protocol for Mnp {
             line_reads: self.store.line_reads,
             line_writes: self.store.line_writes,
         }
+    }
+
+    fn state_label(&self) -> &'static str {
+        self.state.label()
     }
 }
 

@@ -1,0 +1,151 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this workspace-local
+//! package shadows the real crate and implements just the subset of its
+//! API that `mnp-bench` uses: [`Criterion::bench_function`] with
+//! [`Bencher::iter`], plus the tuning setters. Timing is plain wall-clock
+//! sampling — good enough to spot order-of-magnitude regressions in whole
+//! simulation runs, which is all the figure benches are for.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from discarding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark runner mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total time spent timing one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the untimed warm-up budget before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs `f` with a [`Bencher`] and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// No-op; the real harness prints aggregate output here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Per-benchmark timing state mirroring `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let warm_until = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        let budget = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if Instant::now() > budget {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<40} no samples");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let total: Duration = sorted.iter().sum();
+        let mean = total / sorted.len() as u32;
+        let median = sorted[sorted.len() / 2];
+        println!(
+            "{name:<40} mean {:>10.3?}  median {:>10.3?}  min {:>10.3?}  max {:>10.3?}  ({} samples)",
+            mean,
+            median,
+            sorted[0],
+            sorted[sorted.len() - 1],
+            sorted.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::ZERO)
+            .measurement_time(Duration::from_secs(1));
+        let mut runs = 0;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert!(runs >= 3);
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(7), 7);
+    }
+}

@@ -4,14 +4,23 @@
 //! Usage: mnp-run [--rows N] [--cols N] [--spacing FT] [--segments N]
 //!                [--power LEVEL] [--seed N] [--protocol mnp|deluge]
 //!                [--capture] [--heatmap] [--parents]
+//!                [--events PATH] [--metrics PATH] [--timeline PATH]
+//!                [--check-invariants]
 //! ```
 //!
 //! Prints the run summary (completion, active radio time, messages,
 //! collisions) and, on request, the ART heatmap and the parent map.
+//! The observability flags attach the corresponding observer and write
+//! its output after the run: `--events` a JSONL event log, `--metrics`
+//! a per-node metrics JSON document, `--timeline` a Chrome-trace JSON
+//! loadable in Perfetto, and `--check-invariants` an online protocol
+//! safety monitor that fails fast on any violation.
 
 use std::process::ExitCode;
 
 use mnp_experiments::GridExperiment;
+use mnp_net::Observer;
+use mnp_obs::{InvariantMonitor, JsonlLogger, MetricsRegistry, Shared, TimelineExporter};
 use mnp_radio::{NodeId, PowerLevel};
 use mnp_trace::{render_heatmap, render_parent_map};
 
@@ -26,6 +35,10 @@ struct Args {
     capture: bool,
     heatmap: bool,
     parents: bool,
+    events: Option<String>,
+    metrics: Option<String>,
+    timeline: Option<String>,
+    check_invariants: bool,
 }
 
 impl Args {
@@ -41,6 +54,10 @@ impl Args {
             capture: false,
             heatmap: false,
             parents: false,
+            events: None,
+            metrics: None,
+            timeline: None,
+            check_invariants: false,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -56,6 +73,10 @@ impl Args {
                 "--capture" => args.capture = true,
                 "--heatmap" => args.heatmap = true,
                 "--parents" => args.parents = true,
+                "--events" => args.events = Some(value("--events")?),
+                "--metrics" => args.metrics = Some(value("--metrics")?),
+                "--timeline" => args.timeline = Some(value("--timeline")?),
+                "--check-invariants" => args.check_invariants = true,
                 "--help" | "-h" => return Err(USAGE.into()),
                 other => return Err(format!("unknown flag {other}\n{USAGE}")),
             }
@@ -64,7 +85,7 @@ impl Args {
     }
 }
 
-const USAGE: &str = "Usage: mnp-run [--rows N] [--cols N] [--spacing FT] [--segments N]\n               [--power LEVEL] [--seed N] [--protocol mnp|deluge]\n               [--capture] [--heatmap] [--parents]";
+const USAGE: &str = "Usage: mnp-run [--rows N] [--cols N] [--spacing FT] [--segments N]\n               [--power LEVEL] [--seed N] [--protocol mnp|deluge]\n               [--capture] [--heatmap] [--parents]\n               [--events PATH] [--metrics PATH] [--timeline PATH]\n               [--check-invariants]";
 
 fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String>
 where
@@ -97,9 +118,41 @@ fn main() -> ExitCode {
         args.capture
     );
 
+    // Shared handles keep the observers readable after the network (which
+    // owns the attached boxes) is dropped.
+    let events = args
+        .events
+        .as_ref()
+        .map(|_| Shared::new(JsonlLogger::new()));
+    let metrics = args
+        .metrics
+        .as_ref()
+        .map(|_| Shared::new(MetricsRegistry::new()));
+    let timeline = args
+        .timeline
+        .as_ref()
+        .map(|_| Shared::new(TimelineExporter::new()));
+    let invariants = args
+        .check_invariants
+        .then(|| Shared::new(InvariantMonitor::new()));
+
+    let mut observers: Vec<Box<dyn Observer>> = Vec::new();
+    if let Some(log) = &events {
+        observers.push(Box::new(log.clone()));
+    }
+    if let Some(reg) = &metrics {
+        observers.push(Box::new(reg.clone()));
+    }
+    if let Some(tl) = &timeline {
+        observers.push(Box::new(tl.clone()));
+    }
+    if let Some(inv) = &invariants {
+        observers.push(Box::new(inv.clone()));
+    }
+
     let out = match args.protocol.as_str() {
-        "mnp" => scenario.run_mnp(|_| {}),
-        "deluge" => scenario.run_deluge(|_| {}),
+        "mnp" => scenario.run_mnp_observed(|_| {}, observers),
+        "deluge" => scenario.run_deluge_observed(|_| {}, observers),
         other => {
             eprintln!("unknown protocol {other:?} (use mnp or deluge)");
             return ExitCode::FAILURE;
@@ -107,6 +160,10 @@ fn main() -> ExitCode {
     };
 
     println!("{out}");
+    if let Err(msg) = write_outputs(&args, events, metrics, timeline, invariants) {
+        eprintln!("{msg}");
+        return ExitCode::FAILURE;
+    }
     if args.heatmap {
         println!("active radio time by location (dark = high):");
         print!("{}", render_heatmap(args.rows, args.cols, &out.art_s));
@@ -129,4 +186,42 @@ fn main() -> ExitCode {
         eprintln!("dissemination did not complete before the deadline");
         ExitCode::FAILURE
     }
+}
+
+fn write_outputs(
+    args: &Args,
+    events: Option<Shared<JsonlLogger>>,
+    metrics: Option<Shared<MetricsRegistry>>,
+    timeline: Option<Shared<TimelineExporter>>,
+    invariants: Option<Shared<InvariantMonitor>>,
+) -> Result<(), String> {
+    if let (Some(path), Some(log)) = (&args.events, events) {
+        let log = log.borrow();
+        log.write_to(path)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("events: {} lines -> {path}", log.events());
+    }
+    if let (Some(path), Some(reg)) = (&args.metrics, metrics) {
+        let reg = reg.borrow();
+        reg.write_to(path)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "metrics: {} tx / {} rx / {} drops -> {path}",
+            reg.tx_total(),
+            reg.rx_total(),
+            reg.drops_total()
+        );
+    }
+    if let (Some(path), Some(tl)) = (&args.timeline, timeline) {
+        let tl = tl.borrow();
+        tl.write_to(path)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("timeline: {} spans -> {path}", tl.spans().len());
+    }
+    if let Some(inv) = invariants {
+        // Fail-fast mode panics on violation, so reaching this point means
+        // every check passed.
+        println!("invariants: {} checks, all passed", inv.borrow().checks());
+    }
+    Ok(())
 }

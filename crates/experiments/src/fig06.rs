@@ -29,7 +29,7 @@ mod tests {
 
     #[test]
     fn lower_power_means_more_senders() {
-        let fig = run(11);
+        let fig = run(12);
         for (_, out) in &fig.runs {
             assert!(out.completed, "{out}");
         }
@@ -45,7 +45,7 @@ mod tests {
     fn senders_sit_away_from_the_base() {
         // At full power the first non-base sender should not be adjacent to
         // the base: greedy selection favours nodes covering fresh area.
-        let fig = run(11);
+        let fig = run(12);
         let out = &fig.runs[0].1;
         let order = out.trace.sender_order();
         if order.len() > 1 {

@@ -4,7 +4,8 @@ use std::fmt;
 
 use mnp::{Mnp, MnpConfig};
 use mnp_baselines::{Deluge, DelugeConfig};
-use mnp_net::{Network, NetworkBuilder, Protocol};
+use mnp_net::{Network, NetworkBuilder, Observer, Protocol};
+use mnp_obs::InvariantMonitor;
 use mnp_radio::{NodeId, PowerLevel};
 use mnp_sim::{SimRng, SimTime};
 use mnp_storage::{ImageLayout, ProgramId, ProgramImage};
@@ -35,6 +36,7 @@ pub struct GridExperiment {
     deadline: SimTime,
     base: NodeId,
     capture: bool,
+    check_invariants: bool,
 }
 
 impl GridExperiment {
@@ -52,12 +54,21 @@ impl GridExperiment {
             deadline: SimTime::from_secs(4 * 3_600),
             base: NodeId(0),
             capture: false,
+            check_invariants: false,
         }
     }
 
     /// Enables the radio capture effect (sensitivity experiment X4).
     pub fn capture(mut self, capture: bool) -> Self {
         self.capture = capture;
+        self
+    }
+
+    /// Attaches a fail-fast [`InvariantMonitor`] to every run of this
+    /// scenario (write-once EEPROM, in-order segments, no sleeping
+    /// transmitter, ReqCtr echo).
+    pub fn check_invariants(mut self, check: bool) -> Self {
+        self.check_invariants = check;
         self
     }
 
@@ -127,11 +138,21 @@ impl GridExperiment {
     /// Runs MNP over this scenario; `tweak` may adjust the protocol config
     /// (ablations).
     pub fn run_mnp(&self, tweak: impl Fn(&mut MnpConfig)) -> RunOutcome {
+        self.run_mnp_observed(tweak, Vec::new())
+    }
+
+    /// Runs MNP with `observers` attached to the network (event logs,
+    /// metrics, timelines; see `mnp_obs`).
+    pub fn run_mnp_observed(
+        &self,
+        tweak: impl Fn(&mut MnpConfig),
+        observers: Vec<Box<dyn Observer>>,
+    ) -> RunOutcome {
         let mut cfg = MnpConfig::for_image(&self.image);
         tweak(&mut cfg);
         let base = self.base;
         let image = self.image.clone();
-        let mut net = self.build_network(|id, _| {
+        let mut net = self.build_network(observers, |id, _| {
             if id == base {
                 Mnp::base_station(cfg.clone(), &image)
             } else {
@@ -155,11 +176,20 @@ impl GridExperiment {
 
     /// Runs the Deluge-like baseline over this scenario.
     pub fn run_deluge(&self, tweak: impl Fn(&mut DelugeConfig)) -> RunOutcome {
+        self.run_deluge_observed(tweak, Vec::new())
+    }
+
+    /// Runs the Deluge-like baseline with `observers` attached.
+    pub fn run_deluge_observed(
+        &self,
+        tweak: impl Fn(&mut DelugeConfig),
+        observers: Vec<Box<dyn Observer>>,
+    ) -> RunOutcome {
         let mut cfg = DelugeConfig::for_image(&self.image);
         tweak(&mut cfg);
         let base = self.base;
         let image = self.image.clone();
-        let mut net = self.build_network(|id, _| {
+        let mut net = self.build_network(observers, |id, _| {
             if id == base {
                 Deluge::base_station(cfg.clone(), &image)
             } else {
@@ -170,7 +200,7 @@ impl GridExperiment {
         RunOutcome::collect(&mut net, self.grid(), completed)
     }
 
-    fn build_network<P, F>(&self, make: F) -> Network<P>
+    fn build_network<P, F>(&self, observers: Vec<Box<dyn Observer>>, make: F) -> Network<P>
     where
         P: Protocol,
         F: FnMut(NodeId, &mut SimRng) -> P,
@@ -188,9 +218,14 @@ impl GridExperiment {
             "sampled topology has no usable bidirectional path to some node; \
              coverage is impossible (reseed)"
         );
-        NetworkBuilder::new(topo.links, self.seed)
-            .capture(self.capture)
-            .build(make)
+        let mut builder = NetworkBuilder::new(topo.links, self.seed).capture(self.capture);
+        if self.check_invariants {
+            builder = builder.observer(InvariantMonitor::new());
+        }
+        for obs in observers {
+            builder = builder.observer(obs);
+        }
+        builder.build(make)
     }
 }
 
@@ -221,6 +256,8 @@ pub struct RunOutcome {
     pub protocol_fails: u64,
     /// Total times nodes entered the sleep state (MNP only).
     pub sleeps: u64,
+    /// Simulation events processed (a proxy for simulation effort).
+    pub events: u64,
 }
 
 impl RunOutcome {
@@ -262,6 +299,7 @@ impl RunOutcome {
             forward_rounds: vec![0; n],
             protocol_fails: 0,
             sleeps: 0,
+            events: net.events_processed(),
         }
     }
 

@@ -13,6 +13,8 @@ pub(crate) enum Op<M> {
     Parent(NodeId),
     BecameSender,
     FirstHeard,
+    Eeprom(u16, u16),
+    SegmentDone(u16),
 }
 
 /// The interface through which a [`Protocol`](crate::Protocol)
@@ -92,6 +94,18 @@ impl<'a, M> Context<'a, M> {
     /// Fig.-9 "without initial idle listening" clock).
     pub fn note_first_heard(&mut self) {
         self.ops.push(Op::FirstHeard);
+    }
+
+    /// Reports that this node wrote code packet `pkt` of segment `seg` to
+    /// EEPROM (observers check the write-once invariant on these).
+    pub fn note_eeprom_write(&mut self, seg: u16, pkt: u16) {
+        self.ops.push(Op::Eeprom(seg, pkt));
+    }
+
+    /// Reports that this node finished downloading segment `seg` (observers
+    /// check segments complete strictly in order).
+    pub fn note_segment_complete(&mut self, seg: u16) {
+        self.ops.push(Op::SegmentDone(seg));
     }
 }
 

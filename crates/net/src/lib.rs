@@ -69,3 +69,7 @@ mod protocol;
 pub use context::Context;
 pub use network::{Network, NetworkBuilder};
 pub use protocol::{EepromOps, Protocol, WireMsg};
+
+// Re-exported so protocol crates can implement `WireMsg::detail` and
+// attach observers without depending on `mnp-obs` directly.
+pub use mnp_obs::{MsgDetail, ObsEvent, Observer};

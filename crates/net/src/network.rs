@@ -1,9 +1,10 @@
 //! The deterministic event-loop runner.
 
 use mnp_energy::EnergyMeter;
+use mnp_obs::{EventKind, LossCause, ObsEvent, Observer};
 use mnp_radio::{Csma, CsmaAction, CsmaConfig, Frame, LinkTable, Medium, NodeId, TxId};
 use mnp_sim::{EventQueue, SimDuration, SimRng, SimTime};
-use mnp_trace::RunTrace;
+use mnp_trace::{MsgClass, RunTrace};
 
 use crate::context::{Context, Op};
 use crate::protocol::{Protocol, WireMsg};
@@ -16,6 +17,10 @@ enum Event {
         node: NodeId,
         tx: TxId,
         airtime: SimDuration,
+        /// Class/kind of the frame on the air, echoed into drop events so
+        /// observers can attribute the loss without re-reading the payload.
+        class: MsgClass,
+        kind: &'static str,
     },
     Timer(NodeId, u64),
     Wake(NodeId, u64),
@@ -47,6 +52,7 @@ pub struct NetworkBuilder {
     seed: u64,
     csma: CsmaConfig,
     capture: bool,
+    observers: Vec<Box<dyn Observer>>,
 }
 
 impl NetworkBuilder {
@@ -57,7 +63,16 @@ impl NetworkBuilder {
             seed,
             csma: CsmaConfig::default(),
             capture: false,
+            observers: Vec::new(),
         }
+    }
+
+    /// Attaches an observer; every [`mnp_obs::ObsEvent`] the run emits is
+    /// delivered to each attached observer in attachment order. Use
+    /// [`mnp_obs::Shared`] to keep a handle for post-run readback.
+    pub fn observer(mut self, obs: impl Observer + 'static) -> Self {
+        self.observers.push(Box::new(obs));
+        self
     }
 
     /// Enables the radio capture effect (see
@@ -94,7 +109,7 @@ impl NetworkBuilder {
         }
         let mut medium = Medium::new(self.links, medium_rng);
         medium.set_capture(self.capture);
-        Network {
+        let mut net = Network {
             now: SimTime::ZERO,
             queue,
             medium,
@@ -111,7 +126,17 @@ impl NetworkBuilder {
             dead: vec![false; n],
             inflight: vec![None; n],
             events_processed: 0,
+            observers: self.observers,
+            run_ended: false,
+        };
+        // Report each node's initial state so timelines start at t = 0.
+        if !net.observers.is_empty() {
+            for i in 0..n {
+                let to = net.protocols[i].state_label();
+                net.emit(NodeId::from_index(i), EventKind::State { from: "", to });
+            }
         }
+        net
     }
 }
 
@@ -139,6 +164,8 @@ pub struct Network<P: Protocol> {
     /// The in-flight transmission of each node, for mid-frame aborts.
     inflight: Vec<Option<TxId>>,
     events_processed: u64,
+    observers: Vec<Box<dyn Observer>>,
+    run_ended: bool,
 }
 
 impl<P: Protocol> Network<P> {
@@ -246,6 +273,38 @@ impl<P: Protocol> Network<P> {
             self.meters[i].eeprom_writes = ops.line_writes;
             self.trace.set_active_radio(node, art);
         }
+        // Close the run exactly once: pads windowed series, flushes
+        // timelines, snapshots gauges. Later calls only refresh meters.
+        if !self.run_ended {
+            self.run_ended = true;
+            Observer::on_run_end(&mut self.trace, at);
+            for obs in &mut self.observers {
+                obs.on_run_end(at);
+            }
+        }
+    }
+
+    /// Delivers an event to the run trace and every attached observer.
+    fn emit(&mut self, node: NodeId, kind: EventKind) {
+        let ev = ObsEvent {
+            t: self.now,
+            node,
+            kind,
+        };
+        Observer::on_event(&mut self.trace, &ev);
+        for obs in &mut self.observers {
+            obs.on_event(&ev);
+        }
+    }
+
+    /// Delivers an event only when external observers are attached. Used
+    /// for the event kinds the trace ignores (timers, sleep, EEPROM…), so
+    /// the no-observer hot path pays a single emptiness check.
+    fn emit_obs(&mut self, node: NodeId, kind: EventKind) {
+        if self.observers.is_empty() {
+            return;
+        }
+        self.emit(node, kind);
     }
 
     fn dispatch(&mut self, ev: Event) {
@@ -262,8 +321,15 @@ impl<P: Protocol> Network<P> {
                 self.callback(node, |p, ctx| p.on_start(ctx));
             }
             Event::MacAttempt(node, epoch) => self.mac_attempt(node, epoch),
-            Event::TxEnd { node, tx, airtime } => self.tx_end(node, tx, airtime),
+            Event::TxEnd {
+                node,
+                tx,
+                airtime,
+                class,
+                kind,
+            } => self.tx_end(node, tx, airtime, class, kind),
             Event::Timer(node, token) => {
+                self.emit_obs(node, EventKind::TimerFire { token });
                 self.callback(node, |p, ctx| p.on_timer(ctx, token));
             }
             Event::Wake(node, epoch) => {
@@ -272,6 +338,7 @@ impl<P: Protocol> Network<P> {
                 }
                 self.awake[node.index()] = true;
                 self.medium.set_radio(node, true, self.now);
+                self.emit_obs(node, EventKind::Wake);
                 self.callback(node, |p, ctx| p.on_wake(ctx));
             }
         }
@@ -296,6 +363,7 @@ impl<P: Protocol> Network<P> {
         self.medium.set_radio(node, false, self.now);
         self.awake[i] = false;
         self.dead[i] = true;
+        self.emit_obs(node, EventKind::NodeFailed);
     }
 
     fn mac_attempt(&mut self, node: NodeId, epoch: u64) {
@@ -311,11 +379,22 @@ impl<P: Protocol> Network<P> {
             }
             CsmaAction::Transmit(frame) => {
                 let class = frame.payload.class();
+                let kind = frame.payload.kind_label();
+                let bytes = frame.payload.wire_bytes();
+                let detail = frame.payload.detail();
                 let start = self
                     .medium
                     .start_transmission(node, frame, self.now)
                     .expect("awake, MAC-serialized node can transmit");
-                self.trace.note_sent(self.now, node, class);
+                self.emit(
+                    node,
+                    EventKind::MsgTx {
+                        class,
+                        kind,
+                        bytes,
+                        detail,
+                    },
+                );
                 self.meters[i].record_tx(start.airtime);
                 self.inflight[i] = Some(start.id);
                 self.queue.push(
@@ -324,6 +403,8 @@ impl<P: Protocol> Network<P> {
                         node,
                         tx: start.id,
                         airtime: start.airtime,
+                        class,
+                        kind,
                     },
                 );
             }
@@ -331,14 +412,54 @@ impl<P: Protocol> Network<P> {
         }
     }
 
-    fn tx_end(&mut self, node: NodeId, tx: TxId, airtime: SimDuration) {
+    fn tx_end(
+        &mut self,
+        node: NodeId,
+        tx: TxId,
+        airtime: SimDuration,
+        class: MsgClass,
+        kind: &'static str,
+    ) {
         self.inflight[node.index()] = None;
         let outcome = self.medium.finish_transmission(tx, self.now);
         debug_assert_eq!(outcome.src, node);
         let src = outcome.src;
+        if !self.observers.is_empty() {
+            for &recv in &outcome.corrupted {
+                self.emit(
+                    recv,
+                    EventKind::MsgDrop {
+                        from: src,
+                        class,
+                        kind,
+                        cause: LossCause::Collision,
+                    },
+                );
+            }
+            for &recv in &outcome.missed {
+                self.emit(
+                    recv,
+                    EventKind::MsgDrop {
+                        from: src,
+                        class,
+                        kind,
+                        cause: LossCause::BitError,
+                    },
+                );
+            }
+        }
         for (recv, msg) in outcome.delivered {
             self.meters[recv.index()].record_rx(airtime);
-            self.trace.note_received(self.now, recv);
+            self.emit(
+                recv,
+                EventKind::MsgRx {
+                    from: src,
+                    class,
+                    kind,
+                    bytes: msg.wire_bytes(),
+                    detail: msg.detail(),
+                },
+            );
             self.callback(recv, |p, ctx| p.on_message(ctx, src, &msg));
         }
         let i = node.index();
@@ -362,9 +483,28 @@ impl<P: Protocol> Network<P> {
         F: FnOnce(&mut P, &mut Context<'_, P::Msg>),
     {
         let i = node.index();
+        // Sampling state labels is only worth doing when someone listens.
+        let watched = !self.observers.is_empty();
+        let before = if watched {
+            self.protocols[i].state_label()
+        } else {
+            ""
+        };
         let mut ctx = Context::new(self.now, node, &mut self.node_rngs[i]);
         f(&mut self.protocols[i], &mut ctx);
         let ops = std::mem::take(&mut ctx.ops);
+        if watched {
+            let after = self.protocols[i].state_label();
+            if after != before {
+                self.emit(
+                    node,
+                    EventKind::State {
+                        from: before,
+                        to: after,
+                    },
+                );
+            }
+        }
         self.apply_ops(node, ops);
     }
 
@@ -385,6 +525,13 @@ impl<P: Protocol> Network<P> {
                     }
                 }
                 Op::Timer(delay, token) => {
+                    self.emit_obs(
+                        node,
+                        EventKind::TimerSet {
+                            token,
+                            fire_at: self.now + delay,
+                        },
+                    );
                     self.queue.push(self.now + delay, Event::Timer(node, token));
                 }
                 Op::Sleep(duration) => {
@@ -400,16 +547,19 @@ impl<P: Protocol> Network<P> {
                         self.go_to_sleep(node, wake_at, epoch);
                     }
                 }
-                Op::Complete => self.trace.note_completion(node, self.now),
-                Op::Parent(parent) => self.trace.note_parent(node, parent),
-                Op::BecameSender => self.trace.note_sender(node),
-                Op::FirstHeard => self.trace.note_first_heard(node, self.now),
+                Op::Complete => self.emit(node, EventKind::Completed),
+                Op::Parent(parent) => self.emit(node, EventKind::Parent { parent }),
+                Op::BecameSender => self.emit(node, EventKind::BecameSender),
+                Op::FirstHeard => self.emit(node, EventKind::FirstHeard),
+                Op::Eeprom(seg, pkt) => self.emit_obs(node, EventKind::EepromWrite { seg, pkt }),
+                Op::SegmentDone(seg) => self.emit_obs(node, EventKind::SegmentDone { seg }),
             }
         }
     }
 
     fn go_to_sleep(&mut self, node: NodeId, wake_at: SimTime, epoch: u64) {
         let i = node.index();
+        self.emit_obs(node, EventKind::SleepStart { until: wake_at });
         self.macs[i].flush();
         self.mac_epoch[i] += 1; // invalidate any scheduled MacAttempt
         self.medium.set_radio(node, false, self.now);

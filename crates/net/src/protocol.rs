@@ -2,6 +2,7 @@
 
 use std::fmt::Debug;
 
+use mnp_obs::MsgDetail;
 use mnp_radio::NodeId;
 use mnp_trace::MsgClass;
 
@@ -18,6 +19,24 @@ pub trait WireMsg {
 
     /// Message class for tracing.
     fn class(&self) -> MsgClass;
+
+    /// Concrete message-kind label for observability (e.g.
+    /// `"StartDownload"`). The default derives a generic label from the
+    /// class; protocols with several kinds per class should override it.
+    fn kind_label(&self) -> &'static str {
+        match self.class() {
+            MsgClass::Advertisement => "Advertisement",
+            MsgClass::Request => "Request",
+            MsgClass::Data => "Data",
+            MsgClass::Control => "Control",
+        }
+    }
+
+    /// Structured payload fields exposed to observers (invariant monitors
+    /// read the ReqCtr echo and segment/packet indices from here).
+    fn detail(&self) -> MsgDetail {
+        MsgDetail::Opaque
+    }
 }
 
 /// EEPROM operation counts a protocol has performed, polled by the network
@@ -68,6 +87,14 @@ pub trait Protocol: Sized {
     /// Cumulative EEPROM line operations, polled for energy accounting.
     fn eeprom_ops(&self) -> EepromOps {
         EepromOps::default()
+    }
+
+    /// A label for the protocol's current top-level state, sampled around
+    /// every callback to derive state-transition events for observers.
+    /// Must be cheap (a `match` on the state enum) and must return the
+    /// *same* `&'static str` while the state is unchanged.
+    fn state_label(&self) -> &'static str {
+        "Run"
     }
 }
 

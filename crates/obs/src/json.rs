@@ -1,0 +1,104 @@
+//! Hand-rolled JSON emission.
+//!
+//! The build environment is offline, so there is no serde; every value the
+//! observability layer writes is assembled through this tiny builder. Keys
+//! are emitted in call order, which is what gives the JSONL log its stable,
+//! byte-reproducible schema.
+
+use std::fmt::Write;
+
+/// Appends `s` as a JSON string literal (with escaping) to `out`.
+pub(crate) fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// An in-progress JSON object appended to a `String`.
+pub(crate) struct Obj<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl<'a> Obj<'a> {
+    /// Opens `{`.
+    pub(crate) fn new(out: &'a mut String) -> Self {
+        out.push('{');
+        Obj { out, first: true }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        push_str_literal(self.out, key);
+        self.out.push(':');
+    }
+
+    /// Adds an unsigned integer field.
+    pub(crate) fn u(&mut self, key: &str, v: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    /// Adds a string field.
+    pub(crate) fn s(&mut self, key: &str, v: &str) -> &mut Self {
+        self.key(key);
+        push_str_literal(self.out, v);
+        self
+    }
+
+    /// Adds a boolean field.
+    pub(crate) fn b(&mut self, key: &str, v: bool) -> &mut Self {
+        self.key(key);
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a field whose value is already-serialised JSON.
+    pub(crate) fn raw(&mut self, key: &str, v: &str) -> &mut Self {
+        self.key(key);
+        self.out.push_str(v);
+        self
+    }
+
+    /// Closes `}`.
+    pub(crate) fn end(self) {
+        self.out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_objects_in_key_order() {
+        let mut out = String::new();
+        let mut o = Obj::new(&mut out);
+        o.u("t", 5).s("ev", "tx").b("ok", true).raw("xs", "[1,2]");
+        o.end();
+        assert_eq!(out, r#"{"t":5,"ev":"tx","ok":true,"xs":[1,2]}"#);
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let mut out = String::new();
+        push_str_literal(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

@@ -1,0 +1,46 @@
+//! Observability layer for the MNP reproduction.
+//!
+//! The paper's whole evaluation is a story of *observed* protocol
+//! behaviour — sender-selection order, state-machine residency, active
+//! radio time, per-minute message-class counts. This crate generalises the
+//! figure-specific hooks into one event stream: the network emits
+//! [`ObsEvent`]s (state transitions, TX/RX/drop with loss cause, timer
+//! set/fire, sleep/wake, EEPROM writes, segment completion, node failure)
+//! and any number of [`Observer`]s consume them in deterministic order.
+//!
+//! Built-in observers:
+//!
+//! - [`JsonlLogger`] — a structured JSONL event log with a stable,
+//!   byte-reproducible schema;
+//! - [`MetricsRegistry`] — per-node and aggregate counters, gauges and
+//!   histograms, dumpable as JSON;
+//! - [`InvariantMonitor`] — online protocol-safety checking that fails
+//!   fast with the offending event context;
+//! - [`TimelineExporter`] — per-node state residency as a Chrome trace
+//!   (`chrome://tracing` / Perfetto).
+//!
+//! `mnp_trace::RunTrace` is itself driven as an observer (see
+//! [`trace_adapter`]), so the legacy figure metrics and this layer share
+//! one hook path.
+//!
+//! The build environment is offline: all JSON here is hand-rolled (no
+//! serde), see [`json`]'s module docs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod invariants;
+mod json;
+mod jsonl;
+mod metrics;
+mod observer;
+mod timeline;
+pub mod trace_adapter;
+
+pub use event::{EventKind, LossCause, MsgDetail, ObsEvent};
+pub use invariants::InvariantMonitor;
+pub use jsonl::JsonlLogger;
+pub use metrics::{Histogram, MetricsRegistry, NodeMetrics};
+pub use observer::{Observer, Shared};
+pub use timeline::TimelineExporter;

@@ -1,0 +1,135 @@
+//! The observer trait and the shared-handle adapter.
+
+use crate::event::ObsEvent;
+use mnp_sim::SimTime;
+use std::cell::{Ref, RefCell, RefMut};
+use std::fmt;
+use std::rc::Rc;
+
+/// A sink for simulation events.
+///
+/// Observers are attached with `NetworkBuilder::observer(...)` and receive
+/// every [`ObsEvent`] the network emits, in deterministic order, plus one
+/// [`Observer::on_run_end`] call when the run is finalised. Implementations
+/// must not assume wall-clock anything: the same seed replays the same
+/// event sequence bit-for-bit.
+pub trait Observer: fmt::Debug {
+    /// Handles one event.
+    fn on_event(&mut self, ev: &ObsEvent);
+
+    /// Called exactly once when the run ends (all nodes complete, deadline
+    /// hit, or the run predicate stopped the loop), so interval-based
+    /// observers can close their last interval.
+    fn on_run_end(&mut self, at: SimTime) {
+        let _ = at;
+    }
+}
+
+impl<T: Observer + ?Sized> Observer for Box<T> {
+    fn on_event(&mut self, ev: &ObsEvent) {
+        (**self).on_event(ev);
+    }
+
+    fn on_run_end(&mut self, at: SimTime) {
+        (**self).on_run_end(at);
+    }
+}
+
+/// A clonable handle that lets the caller keep access to an observer the
+/// network owns.
+///
+/// The network takes observers as `Box<dyn Observer>`; wrapping one in
+/// `Shared` first lets a harness attach a clone and read the results back
+/// after the run:
+///
+/// ```
+/// use mnp_obs::{JsonlLogger, Observer, Shared};
+///
+/// let log = Shared::new(JsonlLogger::new());
+/// let attached: Box<dyn Observer> = Box::new(log.clone());
+/// // ... run the network with `attached` ...
+/// assert_eq!(log.borrow().events(), 0);
+/// ```
+#[derive(Debug)]
+pub struct Shared<T>(Rc<RefCell<T>>);
+
+impl<T> Shared<T> {
+    /// Wraps `inner` for shared access.
+    pub fn new(inner: T) -> Self {
+        Shared(Rc::new(RefCell::new(inner)))
+    }
+
+    /// Immutably borrows the inner observer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observer is currently mutably borrowed (it never is
+    /// outside an `on_event`/`on_run_end` call).
+    pub fn borrow(&self) -> Ref<'_, T> {
+        self.0.borrow()
+    }
+
+    /// Mutably borrows the inner observer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observer is currently borrowed.
+    pub fn borrow_mut(&self) -> RefMut<'_, T> {
+        self.0.borrow_mut()
+    }
+}
+
+impl<T> Clone for Shared<T> {
+    fn clone(&self) -> Self {
+        Shared(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Observer> Observer for Shared<T> {
+    fn on_event(&mut self, ev: &ObsEvent) {
+        self.0.borrow_mut().on_event(ev);
+    }
+
+    fn on_run_end(&mut self, at: SimTime) {
+        self.0.borrow_mut().on_run_end(at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use mnp_radio::NodeId;
+
+    #[derive(Debug, Default)]
+    struct Counter {
+        events: usize,
+        ended: bool,
+    }
+
+    impl Observer for Counter {
+        fn on_event(&mut self, _ev: &ObsEvent) {
+            self.events += 1;
+        }
+
+        fn on_run_end(&mut self, _at: SimTime) {
+            self.ended = true;
+        }
+    }
+
+    #[test]
+    fn shared_forwards_and_reads_back() {
+        let shared = Shared::new(Counter::default());
+        let mut boxed: Box<dyn Observer> = Box::new(shared.clone());
+        let ev = ObsEvent {
+            t: SimTime::ZERO,
+            node: NodeId(0),
+            kind: EventKind::Wake,
+        };
+        boxed.on_event(&ev);
+        boxed.on_event(&ev);
+        boxed.on_run_end(SimTime::from_secs(1));
+        assert_eq!(shared.borrow().events, 2);
+        assert!(shared.borrow().ended);
+    }
+}

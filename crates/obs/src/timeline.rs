@@ -1,0 +1,231 @@
+//! Chrome-trace-format timeline export.
+
+use crate::event::{EventKind, ObsEvent};
+use crate::json::push_str_literal;
+use crate::observer::Observer;
+use mnp_sim::SimTime;
+use std::fmt::Write;
+use std::io;
+use std::path::Path;
+
+/// An observer that renders per-node protocol state residency as a Chrome
+/// trace (the JSON format `chrome://tracing` and Perfetto load directly).
+///
+/// Each node becomes one "thread" (`tid` = node id); each labelled state
+/// interval becomes a complete (`"ph":"X"`) duration event; completion and
+/// failure become instant (`"ph":"i"`) markers. Timestamps are
+/// microseconds of simulation time.
+#[derive(Debug, Default)]
+pub struct TimelineExporter {
+    /// Per-node currently-open state: (start micros, label).
+    open: Vec<Option<(u64, &'static str)>>,
+    /// Closed spans: (node, label, start micros, duration micros).
+    spans: Vec<(u16, &'static str, u64, u64)>,
+    /// Instant markers: (node, label, micros).
+    markers: Vec<(u16, &'static str, u64)>,
+    finished: bool,
+}
+
+impl TimelineExporter {
+    /// Creates an empty exporter.
+    pub fn new() -> Self {
+        TimelineExporter::default()
+    }
+
+    /// Closed state spans so far, as `(node, label, start_us, dur_us)`.
+    pub fn spans(&self) -> &[(u16, &'static str, u64, u64)] {
+        &self.spans
+    }
+
+    /// Whether `on_run_end` has been seen.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    fn close_open(&mut self, index: usize, node: u16, end: u64) {
+        if let Some(Some((start, label))) = self.open.get(index).copied() {
+            self.spans
+                .push((node, label, start, end.saturating_sub(start)));
+            self.open[index] = None;
+        }
+    }
+
+    /// Renders the timeline as a Chrome trace JSON document.
+    pub fn dump_json(&self) -> String {
+        let mut tids: Vec<u16> = self
+            .spans
+            .iter()
+            .map(|s| s.0)
+            .chain(self.markers.iter().map(|m| m.0))
+            .collect();
+        tids.sort_unstable();
+        tids.dedup();
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        let sep = |out: &mut String, first: &mut bool| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            out.push('\n');
+        };
+        for tid in &tids {
+            sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"node {tid}\"}}}}"
+            );
+        }
+        for (tid, label, start, dur) in &self.spans {
+            sep(&mut out, &mut first);
+            out.push_str("{\"name\":");
+            push_str_literal(&mut out, label);
+            let _ = write!(
+                out,
+                ",\"cat\":\"state\",\"ph\":\"X\",\"ts\":{start},\"dur\":{dur},\
+                 \"pid\":0,\"tid\":{tid}}}"
+            );
+        }
+        for (tid, label, ts) in &self.markers {
+            sep(&mut out, &mut first);
+            out.push_str("{\"name\":");
+            push_str_literal(&mut out, label);
+            let _ = write!(
+                out,
+                ",\"cat\":\"milestone\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\
+                 \"pid\":0,\"tid\":{tid}}}"
+            );
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+
+    /// Writes the Chrome trace to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.dump_json())
+    }
+}
+
+impl Observer for TimelineExporter {
+    fn on_event(&mut self, ev: &ObsEvent) {
+        let node = ev.node.0;
+        let index = ev.node.index();
+        let t = ev.t.as_micros();
+        match ev.kind {
+            EventKind::State { from, to } => {
+                if index >= self.open.len() {
+                    self.open.resize(index + 1, None);
+                }
+                match self.open[index] {
+                    Some((start, label)) => {
+                        self.spans
+                            .push((node, label, start, t.saturating_sub(start)));
+                    }
+                    // First sighting mid-run: credit the reported previous
+                    // state from t=0, so the timeline has no gap.
+                    None => {
+                        if !from.is_empty() && t > 0 {
+                            self.spans.push((node, from, 0, t));
+                        }
+                    }
+                }
+                self.open[index] = Some((t, to));
+            }
+            EventKind::Completed => self.markers.push((node, "complete", t)),
+            EventKind::NodeFailed => {
+                self.markers.push((node, "failed", t));
+                self.close_open(index, node, t);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_run_end(&mut self, at: SimTime) {
+        let end = at.as_micros();
+        for index in 0..self.open.len() {
+            let node = index as u16;
+            self.close_open(index, node, end);
+        }
+        self.finished = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mnp_radio::NodeId;
+
+    fn state(node: u16, t: u64, from: &'static str, to: &'static str) -> ObsEvent {
+        ObsEvent {
+            t: SimTime::from_micros(t),
+            node: NodeId(node),
+            kind: EventKind::State { from, to },
+        }
+    }
+
+    #[test]
+    fn transitions_become_spans_and_run_end_closes() {
+        let mut tl = TimelineExporter::new();
+        tl.on_event(&state(0, 0, "", "Idle"));
+        tl.on_event(&state(0, 100, "Idle", "Advertise"));
+        tl.on_event(&state(0, 250, "Advertise", "Download"));
+        tl.on_run_end(SimTime::from_micros(400));
+        assert_eq!(
+            tl.spans(),
+            &[
+                (0, "Idle", 0, 100),
+                (0, "Advertise", 100, 150),
+                (0, "Download", 250, 150),
+            ]
+        );
+        assert!(tl.finished());
+    }
+
+    #[test]
+    fn late_first_sighting_backfills_from_zero() {
+        let mut tl = TimelineExporter::new();
+        tl.on_event(&state(2, 500, "Idle", "Download"));
+        tl.on_run_end(SimTime::from_micros(800));
+        assert_eq!(
+            tl.spans(),
+            &[(2, "Idle", 0, 500), (2, "Download", 500, 300)]
+        );
+    }
+
+    #[test]
+    fn failure_closes_the_open_span_with_marker() {
+        let mut tl = TimelineExporter::new();
+        tl.on_event(&state(1, 0, "", "Idle"));
+        tl.on_event(&ObsEvent {
+            t: SimTime::from_micros(60),
+            node: NodeId(1),
+            kind: EventKind::NodeFailed,
+        });
+        tl.on_run_end(SimTime::from_micros(100));
+        assert_eq!(tl.spans(), &[(1, "Idle", 0, 60)]);
+        assert_eq!(tl.markers, vec![(1, "failed", 60)]);
+    }
+
+    #[test]
+    fn dump_contains_metadata_spans_and_markers() {
+        let mut tl = TimelineExporter::new();
+        tl.on_event(&state(0, 0, "", "Idle"));
+        tl.on_event(&ObsEvent {
+            t: SimTime::from_micros(40),
+            node: NodeId(0),
+            kind: EventKind::Completed,
+        });
+        tl.on_run_end(SimTime::from_micros(50));
+        let json = tl.dump_json();
+        assert!(json.contains("\"thread_name\""), "{json}");
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        assert!(json.contains("\"ph\":\"i\""), "{json}");
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

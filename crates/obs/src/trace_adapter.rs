@@ -1,0 +1,107 @@
+//! `RunTrace` as an observer.
+//!
+//! The figure harness's [`RunTrace`] predates the observability layer; it
+//! used to be fed through four ad-hoc `note_*` hooks wired directly into
+//! the network. Implementing [`Observer`] for it here puts figure metrics
+//! and every other observer on the same event path, so the network emits
+//! each fact exactly once.
+
+use crate::event::{EventKind, ObsEvent};
+use crate::observer::Observer;
+use mnp_sim::SimTime;
+use mnp_trace::RunTrace;
+
+impl Observer for RunTrace {
+    fn on_event(&mut self, ev: &ObsEvent) {
+        match ev.kind {
+            EventKind::MsgTx { class, .. } => self.note_sent(ev.t, ev.node, class),
+            EventKind::MsgRx { .. } => self.note_received(ev.t, ev.node),
+            EventKind::Completed => self.note_completion(ev.node, ev.t),
+            EventKind::Parent { parent } => self.note_parent(ev.node, parent),
+            EventKind::BecameSender => self.note_sender(ev.node),
+            EventKind::FirstHeard => self.note_first_heard(ev.node, ev.t),
+            _ => {}
+        }
+    }
+
+    fn on_run_end(&mut self, at: SimTime) {
+        self.close_windows(at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MsgDetail;
+    use mnp_radio::NodeId;
+    use mnp_trace::MsgClass;
+
+    #[test]
+    fn events_drive_the_trace_like_the_old_hooks() {
+        let mut trace = RunTrace::new(3);
+        let t = SimTime::from_secs(3);
+        let mut emit = |node: u16, kind: EventKind| {
+            Observer::on_event(
+                &mut trace,
+                &ObsEvent {
+                    t,
+                    node: NodeId(node),
+                    kind,
+                },
+            )
+        };
+        emit(
+            0,
+            EventKind::MsgTx {
+                class: MsgClass::Advertisement,
+                kind: "Advertisement",
+                bytes: 9,
+                detail: MsgDetail::Opaque,
+            },
+        );
+        emit(
+            1,
+            EventKind::MsgRx {
+                from: NodeId(0),
+                class: MsgClass::Advertisement,
+                kind: "Advertisement",
+                bytes: 9,
+                detail: MsgDetail::Opaque,
+            },
+        );
+        emit(1, EventKind::FirstHeard);
+        emit(1, EventKind::Parent { parent: NodeId(0) });
+        emit(0, EventKind::BecameSender);
+        emit(0, EventKind::Completed);
+        emit(1, EventKind::Completed);
+        emit(2, EventKind::Completed);
+        assert_eq!(trace.node(NodeId(0)).sent, 1);
+        assert_eq!(trace.node(NodeId(1)).received, 1);
+        assert_eq!(trace.node(NodeId(1)).first_heard, Some(t));
+        assert_eq!(trace.node(NodeId(1)).parent, Some(NodeId(0)));
+        assert_eq!(trace.sender_order(), &[NodeId(0)]);
+        assert!(trace.all_complete());
+        assert_eq!(trace.windows().total(MsgClass::Advertisement), 1);
+    }
+
+    #[test]
+    fn run_end_closes_the_window_series() {
+        let mut trace = RunTrace::new(1);
+        Observer::on_event(
+            &mut trace,
+            &ObsEvent {
+                t: SimTime::from_secs(10),
+                node: NodeId(0),
+                kind: EventKind::MsgTx {
+                    class: MsgClass::Data,
+                    kind: "Data",
+                    bytes: 36,
+                    detail: MsgDetail::Opaque,
+                },
+            },
+        );
+        assert_eq!(trace.windows().windows(), 1);
+        Observer::on_run_end(&mut trace, SimTime::from_secs(200));
+        assert_eq!(trace.windows().windows(), 4, "padded through 200s");
+    }
+}

@@ -1,7 +1,8 @@
 //! Reproducible random-number streams.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (public-domain algorithm
+//! by Blackman & Vigna) seeded through a SplitMix64 expansion, so the crate
+//! builds in offline environments with no external dependencies.
 
 use crate::time::SimDuration;
 
@@ -24,7 +25,7 @@ use crate::time::SimDuration;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
     seed: u64,
 }
 
@@ -32,7 +33,7 @@ impl SimRng {
     /// Creates the root stream for an experiment seed.
     pub fn new(seed: u64) -> Self {
         SimRng {
-            inner: SmallRng::seed_from_u64(mix(seed, 0x9e37_79b9_7f4a_7c15)),
+            state: expand_seed(mix(seed, 0x9e37_79b9_7f4a_7c15)),
             seed,
         }
     }
@@ -44,7 +45,7 @@ impl SimRng {
     pub fn derive(&self, stream_id: u64) -> SimRng {
         let child = mix(self.seed, stream_id.wrapping_add(1));
         SimRng {
-            inner: SmallRng::seed_from_u64(child),
+            state: expand_seed(child),
             seed: child,
         }
     }
@@ -54,14 +55,31 @@ impl SimRng {
         self.seed
     }
 
-    /// A uniformly random `u64`.
+    /// A uniformly random `u64` (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+
+    /// A uniformly random `u32`.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
     }
 
     /// A uniformly random float in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high-quality mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// `true` with probability `p` (clamped to `[0, 1]`).
@@ -82,7 +100,11 @@ impl SimRng {
     /// Panics if `lo >= hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        // Lemire's multiply-shift map; bias is < span / 2^64, far below
+        // anything a simulation of this size can resolve.
+        let hi_bits = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        lo + hi_bits
     }
 
     /// A uniformly random usize in `[0, n)`.
@@ -92,7 +114,7 @@ impl SimRng {
     /// Panics if `n` is zero.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot pick an index from an empty collection");
-        self.inner.gen_range(0..n)
+        self.range_u64(0, n as u64) as usize
     }
 
     /// A uniformly random float in `[lo, hi)`.
@@ -105,7 +127,7 @@ impl SimRng {
             lo < hi && lo.is_finite() && hi.is_finite(),
             "bad range [{lo}, {hi})"
         );
-        self.inner.gen_range(lo..hi)
+        lo + self.unit() * (hi - lo)
     }
 
     /// A uniformly random duration in `[lo, hi)`; returns `lo` when the range
@@ -131,22 +153,20 @@ fn mix(a: u64, b: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
-    }
+/// Expands one 64-bit seed into a full xoshiro256++ state via SplitMix64,
+/// the seeding procedure recommended by the generator's authors. The state
+/// is never all-zero because SplitMix64 is a bijection over a moving
+/// counter.
+fn expand_seed(seed: u64) -> [u64; 4] {
+    let mut sm = seed;
+    let mut next = || {
+        sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = sm;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    [next(), next(), next(), next()]
 }
 
 #[cfg(test)]
@@ -214,6 +234,18 @@ mod tests {
             let u = r.unit();
             assert!((0.0..1.0).contains(&u));
         }
+    }
+
+    #[test]
+    fn range_u64_covers_and_respects_bounds() {
+        let mut r = SimRng::new(6);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let v = r.range_u64(3, 10);
+            assert!((3..10).contains(&v));
+            seen[(v - 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values in [3, 10) reachable");
     }
 
     #[test]

@@ -82,6 +82,35 @@ mod tests {
     }
 
     #[test]
+    fn empty_input_yields_zero_everywhere() {
+        // Every summary degrades to 0 on no data — tables render "0", not
+        // NaN or ±inf.
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(min(&[]), 0.0);
+        assert_eq!(max(&[]), 0.0);
+        assert_eq!(percentile(&[], 0.0), 0.0);
+        assert_eq!(percentile(&[], 100.0), 0.0);
+    }
+
+    #[test]
+    fn single_element_is_every_summary() {
+        let v = [7.5];
+        assert_eq!(mean(&v), 7.5);
+        assert_eq!(min(&v), 7.5);
+        assert_eq!(max(&v), 7.5);
+        assert_eq!(percentile(&v, 0.0), 7.5);
+        assert_eq!(percentile(&v, 50.0), 7.5);
+        assert_eq!(percentile(&v, 100.0), 7.5);
+    }
+
+    #[test]
+    fn percentile_extremes_hit_min_and_max() {
+        let v = [5.0, 1.0, 3.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+    }
+
+    #[test]
     fn min_max() {
         let v = [3.0, -1.0, 7.0];
         assert_eq!(min(&v), -1.0);

@@ -197,6 +197,13 @@ impl RunTrace {
         &self.windows
     }
 
+    /// Closes the per-window counters at the end of the run (see
+    /// [`WindowedCounts::close`]). Called by the network layer's run-end
+    /// hook; idempotent.
+    pub fn close_windows(&mut self, end: SimTime) {
+        self.windows.close(end);
+    }
+
     /// Whether every node completed. `O(1)`; safe to poll per event.
     pub fn all_complete(&self) -> bool {
         self.incomplete == 0

@@ -56,6 +56,20 @@ impl WindowedCounts {
         self.counts[idx][class as usize] += 1;
     }
 
+    /// Closes the series at `end`: pads with empty windows so the series
+    /// covers every window up to and including the one containing `end`.
+    ///
+    /// Without this, a run whose final messages stop early reports a series
+    /// that silently ends at the last *message*, not at the end of the
+    /// *run*; closing makes per-window series from runs of equal length
+    /// comparable element-by-element.
+    pub fn close(&mut self, end: SimTime) {
+        let idx = (end.as_micros() / self.window.as_micros()) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, [0; MsgClass::COUNT]);
+        }
+    }
+
     /// Number of windows observed so far.
     pub fn windows(&self) -> usize {
         self.counts.len()
@@ -115,5 +129,53 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_window_rejected() {
         let _ = WindowedCounts::new(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn exact_window_edge_opens_the_next_window() {
+        // Windows are half-open [k·w, (k+1)·w): a message at exactly t = w
+        // belongs to window 1, and one microsecond earlier to window 0.
+        let w_len = SimDuration::from_secs(60);
+        let mut w = WindowedCounts::new(w_len);
+        w.record(SimTime::from_micros(60_000_000 - 1), MsgClass::Data);
+        w.record(SimTime::from_micros(60_000_000), MsgClass::Data);
+        w.record(SimTime::from_micros(120_000_000), MsgClass::Data);
+        assert_eq!(w.series(MsgClass::Data), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn record_at_time_zero_lands_in_window_zero() {
+        let mut w = WindowedCounts::new(SimDuration::from_secs(60));
+        w.record(SimTime::ZERO, MsgClass::Advertisement);
+        assert_eq!(w.windows(), 1);
+        assert_eq!(w.window_count(0, MsgClass::Advertisement), 1);
+    }
+
+    #[test]
+    fn close_pads_with_empty_windows() {
+        let mut w = WindowedCounts::new(SimDuration::from_secs(60));
+        w.record(SimTime::from_secs(10), MsgClass::Data);
+        w.close(SimTime::from_secs(200)); // inside window 3
+        assert_eq!(w.windows(), 4);
+        assert_eq!(w.series(MsgClass::Data), vec![1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn close_at_exact_edge_includes_the_new_window() {
+        let mut w = WindowedCounts::new(SimDuration::from_secs(60));
+        w.record(SimTime::from_secs(10), MsgClass::Data);
+        // t = 120s is the first instant of window 2, so the series must
+        // cover windows 0..=2.
+        w.close(SimTime::from_secs(120));
+        assert_eq!(w.windows(), 3);
+    }
+
+    #[test]
+    fn close_before_last_record_is_a_no_op() {
+        let mut w = WindowedCounts::new(SimDuration::from_secs(60));
+        w.record(SimTime::from_secs(150), MsgClass::Data);
+        w.close(SimTime::from_secs(30));
+        assert_eq!(w.windows(), 3, "closing must never shrink the series");
+        assert_eq!(w.series(MsgClass::Data), vec![0, 0, 1]);
     }
 }

@@ -20,6 +20,7 @@
 //! | Mica energy model (Table 1) | [`energy`] |
 //! | EEPROM / program images | [`storage`] |
 //! | Protocol runtime | [`net`] |
+//! | Observability (events, invariants, timelines) | [`obs`] |
 //! | Metrics & figures | [`trace`] |
 //! | **MNP itself** | [`protocol`] |
 //! | Deluge/XNP/MOAP/flood | [`baselines`] |
@@ -43,6 +44,7 @@ pub use mnp_baselines as baselines;
 pub use mnp_energy as energy;
 pub use mnp_experiments as experiments;
 pub use mnp_net as net;
+pub use mnp_obs as obs;
 pub use mnp_radio as radio;
 pub use mnp_sim as sim;
 pub use mnp_storage as storage;
@@ -57,6 +59,10 @@ pub mod prelude {
     };
     pub use mnp_experiments::{GridExperiment, RunOutcome};
     pub use mnp_net::{Context, Network, NetworkBuilder, Protocol, WireMsg};
+    pub use mnp_obs::{
+        EventKind, InvariantMonitor, JsonlLogger, MetricsRegistry, ObsEvent, Observer, Shared,
+        TimelineExporter,
+    };
     pub use mnp_radio::{LinkTable, NodeId, PowerLevel};
     pub use mnp_sim::{SimDuration, SimRng, SimTime};
     pub use mnp_storage::{ImageLayout, PacketStore, ProgramId, ProgramImage};

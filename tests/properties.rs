@@ -30,7 +30,6 @@ fn connected_random_links(n: usize, seed: u64) -> LinkTable {
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 12, // whole-network simulations are expensive
-        .. ProptestConfig::default()
     })]
 
     /// Coverage + accuracy: on any connected random field, every node ends

@@ -7,6 +7,7 @@ fn run_combo(query_update: bool, pipelining: bool, sleep_enabled: bool, seed: u6
     GridExperiment::new(5, 5, 10.0)
         .segments(2)
         .seed(seed)
+        .check_invariants(true)
         .run_mnp(|c| {
             c.query_update = query_update;
             c.pipelining = pipelining;
@@ -34,23 +35,32 @@ fn every_feature_combination_preserves_reliability() {
 #[test]
 fn smaller_segments_work_too() {
     // Non-default layout: 32-packet segments, short last packet.
-    let out = GridExperiment::new(4, 4, 10.0).seed(700).run_mnp(|c| {
-        // Keep the default image; only the protocol features vary here.
-        c.adv_count = 4;
-    });
+    let out = GridExperiment::new(4, 4, 10.0)
+        .seed(700)
+        .check_invariants(true)
+        .run_mnp(|c| {
+            // Keep the default image; only the protocol features vary here.
+            c.adv_count = 4;
+        });
     assert!(out.completed);
 }
 
 #[test]
 fn single_node_network_is_trivially_complete() {
-    let out = GridExperiment::new(1, 1, 10.0).seed(701).run_mnp(|_| {});
+    let out = GridExperiment::new(1, 1, 10.0)
+        .seed(701)
+        .check_invariants(true)
+        .run_mnp(|_| {});
     assert!(out.completed);
     assert_eq!(out.completion, SimTime::ZERO, "the base is born complete");
 }
 
 #[test]
 fn two_node_network_completes_quickly() {
-    let out = GridExperiment::new(1, 2, 10.0).seed(702).run_mnp(|_| {});
+    let out = GridExperiment::new(1, 2, 10.0)
+        .seed(702)
+        .check_invariants(true)
+        .run_mnp(|_| {});
     assert!(out.completed);
     assert!(out.completion_s() < 60.0, "{out}");
 }
@@ -60,7 +70,9 @@ fn widely_spaced_grid_with_marginal_links_still_completes() {
     // 25 ft spacing at full power (35 ft nominal range): every link sits
     // in or near the grey region.
     for seed in 720..724 {
-        let scenario = GridExperiment::new(3, 3, 25.0).seed(seed);
+        let scenario = GridExperiment::new(3, 3, 25.0)
+            .seed(seed)
+            .check_invariants(true);
         if !scenario.is_viable() {
             continue; // this sample was partitioned; viability is checked
         }
@@ -72,7 +84,10 @@ fn widely_spaced_grid_with_marginal_links_still_completes() {
 #[test]
 fn dense_cheap_grid_completes_fast() {
     // 5 ft spacing: effectively one radio cell.
-    let out = GridExperiment::new(4, 4, 5.0).seed(730).run_mnp(|_| {});
+    let out = GridExperiment::new(4, 4, 5.0)
+        .seed(730)
+        .check_invariants(true)
+        .run_mnp(|_| {});
     assert!(out.completed);
     assert!(out.completion_s() < 120.0, "{out}");
 }
