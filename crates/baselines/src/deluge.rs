@@ -16,12 +16,13 @@
 //!   sender it heard; concurrent senders in one neighbourhood are possible
 //!   and produce the hidden-terminal collisions §5 discusses.
 
-use mnp_net::{Context, EepromOps, Protocol, WireMsg};
+use mnp_net::{Context, EepromOps, Protocol, StateLabel, WireMsg};
 use mnp_radio::NodeId;
 use mnp_sim::{SimDuration, SimTime};
 use mnp_storage::{ImageLayout, PacketStore, ProgramId, ProgramImage};
 use mnp_trace::MsgClass;
 
+use mnp::engine::{self, ForwardVector, TimerMux};
 use mnp::PacketBitmap;
 
 use crate::trickle::{Trickle, TrickleConfig};
@@ -125,6 +126,16 @@ enum State {
     Tx,
 }
 
+impl StateLabel for State {
+    fn label(self) -> &'static str {
+        match self {
+            State::Maintain => "Maintain",
+            State::Rx => "Rx",
+            State::Tx => "Tx",
+        }
+    }
+}
+
 const T_FIRE: u64 = 1;
 const T_INTERVAL_END: u64 = 2;
 const T_REQ_SEND: u64 = 3;
@@ -179,11 +190,13 @@ pub struct Deluge {
     completed: bool,
     heard_any: bool,
     state: State,
-    epoch: u64,
+    /// Timer sequence for the Rx/Tx transfer plane, invalidated on every
+    /// transfer-state teardown.
+    transfer_timers: TimerMux,
     /// Separate sequence for maintenance-interval timers so Trickle resets
     /// (which happen on every overheard transfer message) never invalidate
     /// in-flight Rx/Tx timers.
-    interval: u64,
+    maintain_timers: TimerMux,
     trickle: Trickle,
 
     // Rx
@@ -196,8 +209,7 @@ pub struct Deluge {
 
     // Tx
     tx_page: u16,
-    fwd: PacketBitmap,
-    cursor: u16,
+    fwd: ForwardVector,
 
     /// Counters for the harness.
     pub stats: DelugeStats,
@@ -242,8 +254,8 @@ impl Deluge {
             completed: false,
             heard_any: false,
             state: State::Maintain,
-            epoch: 0,
-            interval: 0,
+            transfer_timers: TimerMux::new(),
+            maintain_timers: TimerMux::new(),
             trickle,
             rx_page: 0,
             rx_missing: PacketBitmap::empty(),
@@ -252,8 +264,7 @@ impl Deluge {
             pending_req: None,
             pending_suppressed: false,
             tx_page: 0,
-            fwd: PacketBitmap::empty(),
-            cursor: 0,
+            fwd: ForwardVector::new(),
             stats: DelugeStats::default(),
         }
     }
@@ -268,23 +279,17 @@ impl Deluge {
         &self.store
     }
 
-    fn token(&self, kind: u64) -> u64 {
-        let seq = if kind == T_FIRE || kind == T_INTERVAL_END {
-            self.interval
+    /// Routes a timer kind to the mux owning its sequence.
+    fn mux_for(&self, kind: u64) -> &TimerMux {
+        if kind == T_FIRE || kind == T_INTERVAL_END {
+            &self.maintain_timers
         } else {
-            self.epoch
-        };
-        (seq << 8) | kind
+            &self.transfer_timers
+        }
     }
 
-    fn decode(&self, token: u64) -> Option<u64> {
-        let kind = token & 0xff;
-        let seq = if kind == T_FIRE || kind == T_INTERVAL_END {
-            self.interval
-        } else {
-            self.epoch
-        };
-        (token >> 8 == seq).then_some(kind)
+    fn token(&self, kind: u64) -> u64 {
+        self.mux_for(kind).token(kind)
     }
 
     fn pages(&self) -> u16 {
@@ -292,18 +297,11 @@ impl Deluge {
     }
 
     fn missing_for(&self, page: u16) -> PacketBitmap {
-        let n = self.cfg.layout.packets_in_segment(page);
-        let mut bm = PacketBitmap::empty();
-        for pkt in 0..n {
-            if !self.store.has_packet(page, pkt) {
-                bm.set(pkt);
-            }
-        }
-        bm
+        engine::missing_vector(&self.store, page)
     }
 
     fn begin_interval(&mut self, ctx: &mut Context<'_, DelugeMsg>) {
-        self.interval += 1;
+        self.maintain_timers.invalidate();
         let sched = self.trickle.begin_interval(ctx.rng);
         ctx.set_timer(sched.fire_in, self.token(T_FIRE));
         ctx.set_timer(sched.end_in, self.token(T_INTERVAL_END));
@@ -316,7 +314,7 @@ impl Deluge {
     }
 
     fn enter_maintain(&mut self, ctx: &mut Context<'_, DelugeMsg>) {
-        self.epoch += 1;
+        self.transfer_timers.invalidate();
         self.state = State::Maintain;
         self.pending_req = None;
         self.pending_suppressed = false;
@@ -331,12 +329,12 @@ impl Deluge {
         pkt: u16,
         payload: &[u8],
     ) {
-        if page != self.pages() || self.completed || self.store.has_packet(page, pkt) {
+        if page != self.pages()
+            || self.completed
+            || !engine::store_packet_once(&mut self.store, page, pkt, payload)
+        {
             return;
         }
-        self.store
-            .write_packet(page, pkt, payload)
-            .expect("has_packet checked");
         ctx.note_eeprom_write(page, pkt);
         ctx.note_parent(from);
         if self.state == State::Rx && page == self.rx_page {
@@ -412,11 +410,10 @@ impl Protocol for Deluge {
                 if *dest == ctx.id && *page < self.pages() {
                     match self.state {
                         State::Maintain => {
-                            self.epoch += 1;
+                            self.transfer_timers.invalidate();
                             self.state = State::Tx;
                             self.tx_page = *page;
-                            self.fwd = *missing;
-                            self.cursor = 0;
+                            self.fwd.load(*missing);
                             self.stats.tx_rounds += 1;
                             ctx.note_became_sender();
                             let delay = ctx
@@ -438,10 +435,12 @@ impl Protocol for Deluge {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, DelugeMsg>, token: u64) {
-        let Some(kind) = self.decode(token) else {
-            return;
-        };
+    fn decode_timer(&self, token: u64) -> Option<u64> {
+        let kind = token & 0xff;
+        self.mux_for(kind).decode(token)
+    }
+
+    fn on_timer_kind(&mut self, ctx: &mut Context<'_, DelugeMsg>, kind: u64) {
         match kind {
             T_FIRE => {
                 if self.state == State::Maintain {
@@ -469,7 +468,7 @@ impl Protocol for Deluge {
                 };
                 // Enter Rx either way; if suppressed we ride on the answer
                 // to the request we overheard.
-                self.epoch += 1;
+                self.transfer_timers.invalidate();
                 self.state = State::Rx;
                 self.rx_page = page;
                 self.rx_missing = self.missing_for(page);
@@ -514,15 +513,8 @@ impl Protocol for Deluge {
                     return;
                 }
                 let limit = self.cfg.layout.packets_in_segment(self.tx_page);
-                let next = self
-                    .fwd
-                    .first_set_at_or_after(self.cursor)
-                    .filter(|&p| p < limit)
-                    .or_else(|| self.fwd.first_set_at_or_after(0).filter(|&p| p < limit));
-                match next {
+                match self.fwd.pop_round_robin(limit) {
                     Some(pkt) => {
-                        self.fwd.clear(pkt);
-                        self.cursor = pkt + 1;
                         let payload = self
                             .store
                             .read_packet(self.tx_page, pkt)
@@ -553,136 +545,10 @@ impl Protocol for Deluge {
     }
 
     fn state_label(&self) -> &'static str {
-        match self.state {
-            State::Maintain => "Maintain",
-            State::Rx => "Rx",
-            State::Tx => "Tx",
-        }
+        StateLabel::label(self.state)
     }
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use mnp_net::{Network, NetworkBuilder};
-    use mnp_radio::LinkTable;
-
-    fn image(segments: u16) -> ProgramImage {
-        ProgramImage::synthetic(ProgramId(1), ImageLayout::paper_default(segments))
-    }
-
-    fn line_links(n: usize, ber: f64) -> LinkTable {
-        let mut links = LinkTable::new(n);
-        for i in 0..n - 1 {
-            links.connect(NodeId::from_index(i), NodeId::from_index(i + 1), ber);
-            links.connect(NodeId::from_index(i + 1), NodeId::from_index(i), ber);
-        }
-        links
-    }
-
-    fn build(links: LinkTable, img: &ProgramImage, seed: u64) -> Network<Deluge> {
-        let cfg = DelugeConfig::for_image(img);
-        NetworkBuilder::new(links, seed).build(|id, _| {
-            if id == NodeId(0) {
-                Deluge::base_station(cfg.clone(), img)
-            } else {
-                Deluge::node(cfg.clone())
-            }
-        })
-    }
-
-    #[test]
-    fn single_hop_completes() {
-        let img = image(1);
-        let mut net = build(line_links(2, 0.0), &img, 3);
-        assert!(net.run_until_all_complete(SimTime::from_secs(600)));
-        assert_eq!(
-            net.protocol(NodeId(1)).store().assembled_checksum(),
-            img.checksum()
-        );
-    }
-
-    #[test]
-    fn multihop_line_completes_in_order() {
-        let img = image(2);
-        let mut net = build(line_links(4, 0.0), &img, 5);
-        assert!(net.run_until_all_complete(SimTime::from_secs(3_000)));
-        let t = net.trace();
-        let c1 = t.node(NodeId(1)).completion.unwrap();
-        let c3 = t.node(NodeId(3)).completion.unwrap();
-        assert!(c1 < c3, "hop 1 finishes before hop 3");
-    }
-
-    #[test]
-    fn lossy_links_still_deliver_exactly() {
-        let ber = 1.0 - 0.92f64.powf(1.0 / 376.0);
-        let img = image(1);
-        let mut net = build(line_links(3, ber), &img, 7);
-        assert!(net.run_until_all_complete(SimTime::from_secs(3_000)));
-        for i in 1..3 {
-            assert_eq!(
-                net.protocol(NodeId::from_index(i))
-                    .store()
-                    .assembled_checksum(),
-                img.checksum()
-            );
-        }
-    }
-
-    #[test]
-    fn radio_never_sleeps() {
-        let img = image(1);
-        let mut net = build(line_links(3, 0.0), &img, 9);
-        assert!(net.run_until_all_complete(SimTime::from_secs(600)));
-        let end = net.now();
-        for i in 0..3 {
-            let art = net.medium().active_radio_time(NodeId::from_index(i), end);
-            assert_eq!(
-                art,
-                end.saturating_since(SimTime::ZERO),
-                "Deluge keeps the radio on"
-            );
-        }
-    }
-
-    #[test]
-    fn trickle_suppression_reduces_summaries_in_dense_cell() {
-        // A 6-node clique at steady state: most summaries are suppressed.
-        let n = 6;
-        let mut links = LinkTable::new(n);
-        for a in 0..n {
-            for b in 0..n {
-                if a != b {
-                    links.connect(NodeId::from_index(a), NodeId::from_index(b), 0.0);
-                }
-            }
-        }
-        let img = image(1);
-        let mut net = build(links, &img, 11);
-        assert!(net.run_until_all_complete(SimTime::from_secs(600)));
-        // Keep running a quiet steady-state stretch.
-        let until = net.now() + SimDuration::from_secs(300);
-        net.run_until(|_| false, until);
-        let (mut sent, mut suppressed) = (0, 0);
-        for i in 0..n {
-            let s = net.protocol(NodeId::from_index(i)).stats;
-            sent += s.summaries_sent;
-            suppressed += s.summaries_suppressed;
-        }
-        assert!(
-            suppressed > sent / 2,
-            "Trickle should suppress in a dense cell: sent {sent}, suppressed {suppressed}"
-        );
-    }
-
-    #[test]
-    fn deterministic_replay() {
-        let img = image(1);
-        let mut a = build(line_links(3, 0.001), &img, 13);
-        let mut b = build(line_links(3, 0.001), &img, 13);
-        a.run_until_all_complete(SimTime::from_secs(2_000));
-        b.run_until_all_complete(SimTime::from_secs(2_000));
-        assert_eq!(a.now(), b.now());
-        assert_eq!(a.events_processed(), b.events_processed());
-    }
-}
+#[path = "deluge_tests.rs"]
+mod tests;

@@ -11,11 +11,13 @@
 //! requests, and no recovery. The ablation experiment (DESIGN.md A1)
 //! contrasts its collision counts and delivery ratio with MNP's.
 
-use mnp_net::{Context, EepromOps, Protocol, WireMsg};
+use mnp_net::{Context, EepromOps, Protocol, StateLabel, WireMsg};
 use mnp_radio::NodeId;
 use mnp_sim::SimDuration;
 use mnp_storage::{ImageLayout, PacketStore, ProgramId, ProgramImage};
 use mnp_trace::MsgClass;
+
+use mnp::engine::{self, ImageCursor, TimerMux};
 
 /// Flood parameters.
 #[derive(Clone, Debug)]
@@ -75,6 +77,28 @@ impl WireMsg for FloodMsg {
 const T_SOURCE_TICK: u64 = 1;
 const T_REBROADCAST: u64 = 2;
 
+/// Flood has no protocol states; this is purely the observability label.
+/// Even a `Complete` node keeps rebroadcasting — that is the point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FloodState {
+    /// The originating base station.
+    Broadcast,
+    /// Relay without the full image yet.
+    Listen,
+    /// Relay holding the checksum-verified image.
+    Complete,
+}
+
+impl StateLabel for FloodState {
+    fn label(self) -> &'static str {
+        match self {
+            FloodState::Broadcast => "Broadcast",
+            FloodState::Listen => "Listen",
+            FloodState::Complete => "Complete",
+        }
+    }
+}
+
 /// One node in the flood.
 ///
 /// # Example
@@ -103,8 +127,9 @@ pub struct Flood {
     store: PacketStore,
     is_base: bool,
     completed: bool,
-    seg: u16,
-    pkt: u16,
+    state: FloodState,
+    timers: TimerMux,
+    cursor: ImageCursor,
     /// FIFO of packets waiting to be rebroadcast.
     pending: Vec<(u16, u16)>,
     rebroadcast_armed: bool,
@@ -133,8 +158,9 @@ impl Flood {
             store,
             is_base: true,
             completed: true,
-            seg: 0,
-            pkt: 0,
+            state: FloodState::Broadcast,
+            timers: TimerMux::new(),
+            cursor: ImageCursor::new(),
             pending: Vec::new(),
             rebroadcast_armed: false,
         }
@@ -148,8 +174,9 @@ impl Flood {
             store,
             is_base: false,
             completed: false,
-            seg: 0,
-            pkt: 0,
+            state: FloodState::Listen,
+            timers: TimerMux::new(),
+            cursor: ImageCursor::new(),
             pending: Vec::new(),
             rebroadcast_armed: false,
         }
@@ -172,7 +199,7 @@ impl Flood {
                 .rng
                 .duration_between(SimDuration::ZERO, self.cfg.rebroadcast_jitter)
                 .max(SimDuration::from_micros(1));
-            ctx.set_timer(delay, T_REBROADCAST);
+            ctx.set_timer(delay, self.timers.token(T_REBROADCAST));
         }
     }
 }
@@ -184,7 +211,10 @@ impl Protocol for Flood {
         if self.is_base {
             ctx.note_completion();
             ctx.note_became_sender();
-            ctx.set_timer(self.cfg.data_packet_period, T_SOURCE_TICK);
+            ctx.set_timer(
+                self.cfg.data_packet_period,
+                self.timers.token(T_SOURCE_TICK),
+            );
         }
     }
 
@@ -193,12 +223,9 @@ impl Protocol for Flood {
             return;
         }
         let FloodMsg::Data { seg, pkt, payload } = msg;
-        if self.store.has_packet(*seg, *pkt) {
+        if !engine::store_packet_once(&mut self.store, *seg, *pkt, payload) {
             return; // already seen; a real storm would be even worse
         }
-        self.store
-            .write_packet(*seg, *pkt, payload)
-            .expect("has_packet checked");
         ctx.note_eeprom_write(*seg, *pkt);
         ctx.note_parent(from);
         if !self.completed && self.store.is_complete() {
@@ -208,6 +235,7 @@ impl Protocol for Flood {
                 "accuracy violation in flood transfer"
             );
             self.completed = true;
+            self.state = FloodState::Complete;
             ctx.note_completion();
         }
         // First sight: schedule the rebroadcast. No suppression of any kind.
@@ -215,29 +243,29 @@ impl Protocol for Flood {
         self.arm_rebroadcast(ctx);
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, FloodMsg>, token: u64) {
-        match token {
+    fn decode_timer(&self, token: u64) -> Option<u64> {
+        self.timers.decode(token)
+    }
+
+    fn on_timer_kind(&mut self, ctx: &mut Context<'_, FloodMsg>, kind: u64) {
+        match kind {
             T_SOURCE_TICK => {
                 if !self.is_base {
                     return;
                 }
+                let (seg, pkt) = (self.cursor.seg(), self.cursor.pkt());
                 let payload = self
                     .store
-                    .read_packet(self.seg, self.pkt)
+                    .read_packet(seg, pkt)
                     .expect("base holds the image")
                     .to_vec();
-                ctx.send(FloodMsg::Data {
-                    seg: self.seg,
-                    pkt: self.pkt,
-                    payload,
-                });
-                self.pkt += 1;
-                if self.pkt >= self.cfg.layout.packets_in_segment(self.seg) {
-                    self.pkt = 0;
-                    self.seg += 1;
-                }
-                if self.seg < self.cfg.layout.segment_count() {
-                    ctx.set_timer(self.cfg.data_packet_period, T_SOURCE_TICK);
+                ctx.send(FloodMsg::Data { seg, pkt, payload });
+                // One pass only: the tick stops at the end of the image.
+                if !self.cursor.step(self.cfg.layout) {
+                    ctx.set_timer(
+                        self.cfg.data_packet_period,
+                        self.timers.token(T_SOURCE_TICK),
+                    );
                 }
             }
             T_REBROADCAST => {
@@ -263,13 +291,7 @@ impl Protocol for Flood {
     }
 
     fn state_label(&self) -> &'static str {
-        if self.is_base {
-            "Broadcast"
-        } else if self.completed {
-            "Complete"
-        } else {
-            "Listen"
-        }
+        StateLabel::label(self.state)
     }
 }
 

@@ -15,12 +15,13 @@
 //!   for missing packets;
 //! * **radio always on.**
 
-use mnp_net::{Context, EepromOps, Protocol, WireMsg};
+use mnp_net::{Context, EepromOps, Protocol, StateLabel, WireMsg};
 use mnp_radio::NodeId;
 use mnp_sim::{SimDuration, SimTime};
 use mnp_storage::{ImageLayout, PacketStore, ProgramId, ProgramImage};
 use mnp_trace::MsgClass;
 
+use mnp::engine::{self, ImageCursor, TimerMux};
 use mnp::PacketBitmap;
 
 /// MOAP parameters.
@@ -145,6 +146,19 @@ enum State {
     Rx,
 }
 
+impl StateLabel for State {
+    fn label(self) -> &'static str {
+        match self {
+            State::Idle => "Idle",
+            State::Publish => "Publish",
+            State::GatherSubs => "GatherSubs",
+            State::Tx => "Tx",
+            State::Repair => "Repair",
+            State::Rx => "Rx",
+        }
+    }
+}
+
 const T_PUBLISH: u64 = 1;
 const T_SUBS_CLOSE: u64 = 2;
 const T_TX_TICK: u64 = 3;
@@ -180,12 +194,11 @@ pub struct Moap {
     completed: bool,
     heard_any: bool,
     state: State,
-    epoch: u64,
+    timers: TimerMux,
 
     // Publisher
     subscribers: u16,
-    tx_seg: u16,
-    tx_pkt: u16,
+    cursor: ImageCursor,
     nak_deadline: SimTime,
     repair_queue: Vec<(u16, PacketBitmap)>,
 
@@ -233,10 +246,9 @@ impl Moap {
             completed: false,
             heard_any: false,
             state: State::Idle,
-            epoch: 0,
+            timers: TimerMux::new(),
             subscribers: 0,
-            tx_seg: 0,
-            tx_pkt: 0,
+            cursor: ImageCursor::new(),
             nak_deadline: SimTime::ZERO,
             repair_queue: Vec::new(),
             publisher: None,
@@ -254,34 +266,19 @@ impl Moap {
         &self.store
     }
 
-    fn token(&self, kind: u64) -> u64 {
-        (self.epoch << 8) | kind
-    }
-
-    fn decode(&self, token: u64) -> Option<u64> {
-        (token >> 8 == self.epoch).then_some(token & 0xff)
-    }
-
     fn missing_for(&self, seg: u16) -> PacketBitmap {
-        let n = self.cfg.layout.packets_in_segment(seg);
-        let mut bm = PacketBitmap::empty();
-        for pkt in 0..n {
-            if !self.store.has_packet(seg, pkt) {
-                bm.set(pkt);
-            }
-        }
-        bm
+        engine::missing_vector(&self.store, seg)
     }
 
     fn schedule_publish(&mut self, ctx: &mut Context<'_, MoapMsg>) {
         let delay = ctx
             .rng
             .duration_between(self.cfg.publish_interval_min, self.cfg.publish_interval_max);
-        ctx.set_timer(delay, self.token(T_PUBLISH));
+        ctx.set_timer(delay, self.timers.token(T_PUBLISH));
     }
 
     fn enter_publish(&mut self, ctx: &mut Context<'_, MoapMsg>) {
-        self.epoch += 1;
+        self.timers.invalidate();
         self.state = State::Publish;
         self.subscribers = 0;
         self.schedule_publish(ctx);
@@ -291,7 +288,7 @@ impl Moap {
         let delay = ctx
             .rng
             .jittered(self.cfg.data_packet_period, self.cfg.data_packet_jitter);
-        ctx.set_timer(delay, self.token(T_TX_TICK));
+        ctx.set_timer(delay, self.timers.token(T_TX_TICK));
     }
 
     fn store_data(
@@ -302,17 +299,14 @@ impl Moap {
         pkt: u16,
         payload: &[u8],
     ) {
-        if self.completed || self.store.has_packet(seg, pkt) {
+        if self.completed || !engine::store_packet_once(&mut self.store, seg, pkt, payload) {
             return;
         }
-        self.store
-            .write_packet(seg, pkt, payload)
-            .expect("has_packet checked");
         ctx.note_eeprom_write(seg, pkt);
         ctx.note_parent(from);
         if self.state == State::Rx {
             self.rx_deadline = ctx.now + self.cfg.rx_timeout;
-            ctx.set_timer(self.cfg.rx_timeout, self.token(T_RX_TIMEOUT));
+            ctx.set_timer(self.cfg.rx_timeout, self.timers.token(T_RX_TIMEOUT));
         }
         if self.store.is_complete() {
             assert_eq!(
@@ -350,20 +344,20 @@ impl Protocol for Moap {
                         dest: *source,
                         subscriber: ctx.id,
                     });
-                    self.epoch += 1;
+                    self.timers.invalidate();
                     self.state = State::Rx;
                     self.publisher = Some(*source);
                     self.rx_deadline = ctx.now + self.cfg.rx_timeout;
-                    ctx.set_timer(self.cfg.rx_timeout, self.token(T_RX_TIMEOUT));
+                    ctx.set_timer(self.cfg.rx_timeout, self.timers.token(T_RX_TIMEOUT));
                 }
             }
             MoapMsg::Subscribe { dest, .. } => {
                 if *dest == ctx.id && matches!(self.state, State::Publish | State::GatherSubs) {
                     self.subscribers += 1;
                     if self.state == State::Publish {
-                        self.epoch += 1;
+                        self.timers.invalidate();
                         self.state = State::GatherSubs;
-                        ctx.set_timer(self.cfg.subscribe_window, self.token(T_SUBS_CLOSE));
+                        ctx.set_timer(self.cfg.subscribe_window, self.timers.token(T_SUBS_CLOSE));
                     }
                 }
             }
@@ -382,7 +376,7 @@ impl Protocol for Moap {
                             missing: self.missing_for(seg),
                         });
                         self.rx_deadline = ctx.now + self.cfg.rx_timeout;
-                        ctx.set_timer(self.cfg.rx_timeout, self.token(T_RX_TIMEOUT));
+                        ctx.set_timer(self.cfg.rx_timeout, self.timers.token(T_RX_TIMEOUT));
                     }
                 }
             }
@@ -402,10 +396,11 @@ impl Protocol for Moap {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, MoapMsg>, token: u64) {
-        let Some(kind) = self.decode(token) else {
-            return;
-        };
+    fn decode_timer(&self, token: u64) -> Option<u64> {
+        self.timers.decode(token)
+    }
+
+    fn on_timer_kind(&mut self, ctx: &mut Context<'_, MoapMsg>, kind: u64) {
         match kind {
             T_PUBLISH => {
                 if self.state == State::Publish {
@@ -417,37 +412,28 @@ impl Protocol for Moap {
                 if self.state != State::GatherSubs {
                     return;
                 }
-                self.epoch += 1;
+                self.timers.invalidate();
                 self.state = State::Tx;
-                self.tx_seg = 0;
-                self.tx_pkt = 0;
+                self.cursor = ImageCursor::new();
                 ctx.note_became_sender();
                 self.schedule_tx(ctx);
             }
             T_TX_TICK => {
                 match self.state {
                     State::Tx => {
+                        let (seg, pkt) = (self.cursor.seg(), self.cursor.pkt());
                         let payload = self
                             .store
-                            .read_packet(self.tx_seg, self.tx_pkt)
+                            .read_packet(seg, pkt)
                             .expect("publisher holds the image")
                             .to_vec();
-                        ctx.send(MoapMsg::Data {
-                            seg: self.tx_seg,
-                            pkt: self.tx_pkt,
-                            payload,
-                        });
-                        self.tx_pkt += 1;
-                        if self.tx_pkt >= self.cfg.layout.packets_in_segment(self.tx_seg) {
-                            self.tx_pkt = 0;
-                            self.tx_seg += 1;
-                        }
-                        if self.tx_seg >= self.cfg.layout.segment_count() {
+                        ctx.send(MoapMsg::Data { seg, pkt, payload });
+                        if self.cursor.step(self.cfg.layout) {
                             ctx.send(MoapMsg::EndOfImage { source: ctx.id });
-                            self.epoch += 1;
+                            self.timers.invalidate();
                             self.state = State::Repair;
                             self.nak_deadline = ctx.now + self.cfg.nak_idle_timeout;
-                            ctx.set_timer(self.cfg.nak_idle_timeout, self.token(T_NAK_IDLE));
+                            ctx.set_timer(self.cfg.nak_idle_timeout, self.timers.token(T_NAK_IDLE));
                         } else {
                             self.schedule_tx(ctx);
                         }
@@ -486,12 +472,12 @@ impl Protocol for Moap {
                     // Repairs pending: start draining.
                     self.schedule_tx(ctx);
                     self.nak_deadline = ctx.now + self.cfg.nak_idle_timeout;
-                    ctx.set_timer(self.cfg.nak_idle_timeout, self.token(T_NAK_IDLE));
+                    ctx.set_timer(self.cfg.nak_idle_timeout, self.timers.token(T_NAK_IDLE));
                     return;
                 }
                 if ctx.now < self.nak_deadline {
                     let remaining = self.nak_deadline.saturating_since(ctx.now);
-                    ctx.set_timer(remaining, self.token(T_NAK_IDLE));
+                    ctx.set_timer(remaining, self.timers.token(T_NAK_IDLE));
                     return;
                 }
                 self.enter_publish(ctx);
@@ -502,12 +488,12 @@ impl Protocol for Moap {
                 }
                 if ctx.now < self.rx_deadline {
                     let remaining = self.rx_deadline.saturating_since(ctx.now);
-                    ctx.set_timer(remaining, self.token(T_RX_TIMEOUT));
+                    ctx.set_timer(remaining, self.timers.token(T_RX_TIMEOUT));
                     return;
                 }
                 // Publisher went quiet: unsubscribe and wait for the next
                 // publish round.
-                self.epoch += 1;
+                self.timers.invalidate();
                 self.state = State::Idle;
                 self.publisher = None;
             }
@@ -523,14 +509,7 @@ impl Protocol for Moap {
     }
 
     fn state_label(&self) -> &'static str {
-        match self.state {
-            State::Idle => "Idle",
-            State::Publish => "Publish",
-            State::GatherSubs => "GatherSubs",
-            State::Tx => "Tx",
-            State::Repair => "Repair",
-            State::Rx => "Rx",
-        }
+        StateLabel::label(self.state)
     }
 }
 

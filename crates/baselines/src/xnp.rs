@@ -10,11 +10,13 @@
 //! The base cycles through the image repeatedly (cyclic redundancy doubles
 //! as loss recovery); receivers store whatever they hear.
 
-use mnp_net::{Context, EepromOps, Protocol, WireMsg};
+use mnp_net::{Context, EepromOps, Protocol, StateLabel, WireMsg};
 use mnp_radio::NodeId;
 use mnp_sim::SimDuration;
 use mnp_storage::{ImageLayout, PacketStore, ProgramId, ProgramImage};
 use mnp_trace::MsgClass;
+
+use mnp::engine::{self, ImageCursor, TimerMux};
 
 /// XNP parameters.
 #[derive(Clone, Debug)]
@@ -78,6 +80,31 @@ impl WireMsg for XnpMsg {
 
 const T_TICK: u64 = 1;
 
+/// XNP's (trivial) state machine: the base broadcasts until its pass
+/// budget runs out; receivers listen until complete.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum XnpState {
+    /// Base: cycling through the image.
+    Broadcast,
+    /// Base: pass budget exhausted.
+    Done,
+    /// Receiver: storing whatever it hears.
+    Listen,
+    /// Receiver: image complete and verified.
+    Complete,
+}
+
+impl StateLabel for XnpState {
+    fn label(self) -> &'static str {
+        match self {
+            XnpState::Broadcast => "Broadcast",
+            XnpState::Done => "Done",
+            XnpState::Listen => "Listen",
+            XnpState::Complete => "Complete",
+        }
+    }
+}
+
 /// One node running XNP (base or passive receiver).
 ///
 /// # Example
@@ -105,8 +132,9 @@ pub struct Xnp {
     store: PacketStore,
     is_base: bool,
     completed: bool,
-    seg: u16,
-    pkt: u16,
+    state: XnpState,
+    timers: TimerMux,
+    cursor: ImageCursor,
     pass: u32,
 }
 
@@ -128,13 +156,19 @@ impl Xnp {
             }
         }
         store.line_writes = 0;
+        let state = if cfg.max_passes == 0 {
+            XnpState::Done
+        } else {
+            XnpState::Broadcast
+        };
         Xnp {
             cfg,
             store,
             is_base: true,
             completed: true,
-            seg: 0,
-            pkt: 0,
+            state,
+            timers: TimerMux::new(),
+            cursor: ImageCursor::new(),
             pass: 0,
         }
     }
@@ -147,8 +181,9 @@ impl Xnp {
             store,
             is_base: false,
             completed: false,
-            seg: 0,
-            pkt: 0,
+            state: XnpState::Listen,
+            timers: TimerMux::new(),
+            cursor: ImageCursor::new(),
             pass: 0,
         }
     }
@@ -165,7 +200,9 @@ impl Xnp {
 
     fn schedule_tick(&self, ctx: &mut Context<'_, XnpMsg>, gap: SimDuration) {
         let delay = ctx.rng.jittered(gap, self.cfg.data_packet_jitter);
-        ctx.set_timer(delay, T_TICK);
+        // XNP never tears state down, so the mux stays at epoch 0 and the
+        // token is the raw kind value.
+        ctx.set_timer(delay, self.timers.token(T_TICK));
     }
 }
 
@@ -185,10 +222,7 @@ impl Protocol for Xnp {
             return;
         }
         let XnpMsg::Data { seg, pkt, payload } = msg;
-        if !self.store.has_packet(*seg, *pkt) {
-            self.store
-                .write_packet(*seg, *pkt, payload)
-                .expect("has_packet checked");
+        if engine::store_packet_once(&mut self.store, *seg, *pkt, payload) {
             ctx.note_eeprom_write(*seg, *pkt);
             ctx.note_parent(from);
             if self.store.is_complete() {
@@ -198,38 +232,32 @@ impl Protocol for Xnp {
                     "accuracy violation in XNP transfer"
                 );
                 self.completed = true;
+                self.state = XnpState::Complete;
                 ctx.note_completion();
             }
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, XnpMsg>, _token: u64) {
-        if !self.is_base || self.pass >= self.cfg.max_passes {
+        if self.state != XnpState::Broadcast {
             return;
         }
+        let (seg, pkt) = (self.cursor.seg(), self.cursor.pkt());
         let payload = self
             .store
-            .read_packet(self.seg, self.pkt)
+            .read_packet(seg, pkt)
             .expect("base holds the image")
             .to_vec();
-        ctx.send(XnpMsg::Data {
-            seg: self.seg,
-            pkt: self.pkt,
-            payload,
-        });
+        ctx.send(XnpMsg::Data { seg, pkt, payload });
         // Advance the cursor, wrapping per pass.
-        self.pkt += 1;
-        if self.pkt >= self.cfg.layout.packets_in_segment(self.seg) {
-            self.pkt = 0;
-            self.seg += 1;
-            if self.seg >= self.cfg.layout.segment_count() {
-                self.seg = 0;
-                self.pass += 1;
-                if self.pass < self.cfg.max_passes {
-                    self.schedule_tick(ctx, self.cfg.inter_pass_gap);
-                }
-                return;
+        if self.cursor.step(self.cfg.layout) {
+            self.pass += 1;
+            if self.pass < self.cfg.max_passes {
+                self.schedule_tick(ctx, self.cfg.inter_pass_gap);
+            } else {
+                self.state = XnpState::Done;
             }
+            return;
         }
         self.schedule_tick(ctx, self.cfg.data_packet_period);
     }
@@ -242,17 +270,7 @@ impl Protocol for Xnp {
     }
 
     fn state_label(&self) -> &'static str {
-        if self.is_base {
-            if self.pass >= self.cfg.max_passes {
-                "Done"
-            } else {
-                "Broadcast"
-            }
-        } else if self.completed {
-            "Complete"
-        } else {
-            "Listen"
-        }
+        StateLabel::label(self.state)
     }
 }
 

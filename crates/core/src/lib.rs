@@ -56,10 +56,11 @@
 
 pub mod bitmap;
 mod config;
+pub mod engine;
 pub mod message;
-mod node;
+pub mod mnp;
 
 pub use bitmap::PacketBitmap;
 pub use config::MnpConfig;
 pub use message::{Advertisement, DataPacket, DownloadRequest, MnpMsg};
-pub use node::{Mnp, MnpState, MnpStats};
+pub use mnp::{Mnp, MnpState, MnpStats, StateTimes};

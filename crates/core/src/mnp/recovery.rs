@@ -1,0 +1,143 @@
+//! The §5 query/update loss-recovery phase: the sender polls its children
+//! for losses (query state) and retransmits the union of their repair
+//! bitmaps; a child with gaps requests them one bitmap at a time (update
+//! state).
+
+use mnp_net::Context;
+use mnp_radio::NodeId;
+
+use crate::bitmap::PacketBitmap;
+use crate::message::{DataPacket, MnpMsg};
+
+use super::{Mnp, MnpState, T_QUERY_IDLE, T_UPDATE};
+
+impl Mnp {
+    /// Sender side: after the forward pass, poll children for losses.
+    pub(super) fn enter_query(&mut self, ctx: &mut Context<'_, MnpMsg>) {
+        self.timers.invalidate();
+        self.state = MnpState::Query;
+        self.fwd.reset();
+        self.repair_ticking = false;
+        ctx.send(MnpMsg::Query {
+            source: ctx.id,
+            seg: self.fwd_seg,
+        });
+        self.query_deadline = ctx.now + self.cfg.query_idle_timeout;
+        ctx.set_timer(self.cfg.query_idle_timeout, self.timers.token(T_QUERY_IDLE));
+    }
+
+    pub(super) fn on_query(&mut self, ctx: &mut Context<'_, MnpMsg>, source: NodeId, seg: u16) {
+        if self.state == MnpState::Download
+            && self.awaiting_query
+            && seg == self.dl_seg
+            && Some(source) == self.parent
+        {
+            if self.missing.is_empty() {
+                // Sibling repairs already filled our gaps while we waited.
+                self.finish_segment(ctx);
+                return;
+            }
+            self.timers.invalidate();
+            self.state = MnpState::Update;
+            self.update_retries = 0;
+            self.send_repair_request(ctx);
+        }
+    }
+
+    fn send_repair_request(&mut self, ctx: &mut Context<'_, MnpMsg>) {
+        if self.missing.is_empty() {
+            self.finish_segment(ctx);
+            return;
+        }
+        ctx.send(MnpMsg::Repair {
+            dest: self.parent.expect("update state has a parent"),
+            requester: ctx.id,
+            seg: self.dl_seg,
+            missing: self.missing,
+        });
+        self.arm_update_timeout(ctx);
+    }
+
+    pub(super) fn arm_update_timeout(&mut self, ctx: &mut Context<'_, MnpMsg>) {
+        self.update_deadline = ctx.now + self.cfg.update_timeout;
+        ctx.set_timer(self.cfg.update_timeout, self.timers.token(T_UPDATE));
+    }
+
+    pub(super) fn on_repair(
+        &mut self,
+        ctx: &mut Context<'_, MnpMsg>,
+        dest: NodeId,
+        seg: u16,
+        missing: &PacketBitmap,
+    ) {
+        if self.state != MnpState::Query || dest != ctx.id || seg != self.fwd_seg {
+            return;
+        }
+        self.fwd.union_with(missing);
+        self.query_deadline = ctx.now + self.cfg.query_idle_timeout;
+        ctx.set_timer(self.cfg.query_idle_timeout, self.timers.token(T_QUERY_IDLE));
+        if !self.repair_ticking {
+            self.repair_ticking = true;
+            self.schedule_fwd(ctx);
+        }
+    }
+
+    /// One tick of the query-state retransmission loop.
+    pub(super) fn on_repair_tick(&mut self, ctx: &mut Context<'_, MnpMsg>) {
+        debug_assert_eq!(self.state, MnpState::Query);
+        match self.fwd.pop_first() {
+            Some(pkt) => {
+                let payload = self
+                    .store
+                    .read_packet(self.fwd_seg, pkt)
+                    .expect("a sender holds every packet of its forwarded segment")
+                    .to_vec();
+                ctx.send(MnpMsg::Data(DataPacket {
+                    seg: self.fwd_seg,
+                    pkt,
+                    payload,
+                }));
+                self.stats.retransmissions += 1;
+                self.query_deadline = ctx.now + self.cfg.query_idle_timeout;
+                self.schedule_fwd(ctx);
+            }
+            None => {
+                self.repair_ticking = false;
+                ctx.set_timer(self.cfg.query_idle_timeout, self.timers.token(T_QUERY_IDLE));
+            }
+        }
+    }
+
+    pub(super) fn on_query_idle(&mut self, ctx: &mut Context<'_, MnpMsg>) {
+        debug_assert_eq!(self.state, MnpState::Query);
+        if self.repair_ticking {
+            return; // the retransmission loop re-arms the idle timer
+        }
+        if ctx.now < self.query_deadline {
+            let remaining = self.query_deadline.saturating_since(ctx.now);
+            ctx.set_timer(remaining, self.timers.token(T_QUERY_IDLE));
+            return;
+        }
+        // "No more repair request → set sleep timer."
+        let span = self.sleeper.long_span(ctx.rng, self.cfg.post_forward_sleep);
+        self.rest(ctx, span);
+    }
+
+    pub(super) fn on_update_timeout(&mut self, ctx: &mut Context<'_, MnpMsg>) {
+        debug_assert_eq!(self.state, MnpState::Update);
+        if ctx.now < self.update_deadline {
+            let remaining = self.update_deadline.saturating_since(ctx.now);
+            ctx.set_timer(remaining, self.timers.token(T_UPDATE));
+            return;
+        }
+        // The repair request or its answer was lost (or the parent is
+        // busy serving a sibling): retry a few times before failing.
+        if self.update_retries < 3 {
+            self.update_retries += 1;
+            self.send_repair_request(ctx);
+        } else {
+            self.stats.fails_update += 1;
+            self.fail(ctx);
+        }
+    }
+}

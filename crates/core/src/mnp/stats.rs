@@ -1,0 +1,22 @@
+//! Protocol counters surfaced to the experiment harness.
+
+/// Per-node protocol counters surfaced to the experiment harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MnpStats {
+    /// Downloads that ended in the fail state.
+    pub fails: u64,
+    /// Fails from a download timeout (no packet / no query arrived).
+    pub fails_dl_timeout: u64,
+    /// Fails from exhausted update-phase retries.
+    pub fails_update: u64,
+    /// Times this node won the sender selection and forwarded a segment.
+    pub forward_rounds: u64,
+    /// Packets retransmitted during query/update repair.
+    pub retransmissions: u64,
+    /// Download requests sent.
+    pub requests_sent: u64,
+    /// Times this node entered the sleep state.
+    pub sleeps: u64,
+    /// Advertisements sent.
+    pub advertisements_sent: u64,
+}

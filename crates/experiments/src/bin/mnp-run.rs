@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! Usage: mnp-run [--rows N] [--cols N] [--spacing FT] [--segments N]
-//!                [--power LEVEL] [--seed N] [--protocol mnp|deluge]
+//!                [--power LEVEL] [--seed N] [--seeds A,B,...]
+//!                [--protocol mnp|deluge]
 //!                [--capture] [--heatmap] [--parents]
 //!                [--events PATH] [--metrics PATH] [--timeline PATH]
 //!                [--check-invariants]
@@ -18,7 +19,7 @@
 
 use std::process::ExitCode;
 
-use mnp_experiments::GridExperiment;
+use mnp_experiments::{GridExperiment, RunOutcome};
 use mnp_net::Observer;
 use mnp_obs::{InvariantMonitor, JsonlLogger, MetricsRegistry, Shared, TimelineExporter};
 use mnp_radio::{NodeId, PowerLevel};
@@ -31,6 +32,7 @@ struct Args {
     segments: u16,
     power: u8,
     seed: u64,
+    seeds: Option<Vec<u64>>,
     protocol: String,
     capture: bool,
     heatmap: bool,
@@ -50,6 +52,7 @@ impl Args {
             segments: 2,
             power: 255,
             seed: 42,
+            seeds: None,
             protocol: "mnp".into(),
             capture: false,
             heatmap: false,
@@ -69,6 +72,14 @@ impl Args {
                 "--segments" => args.segments = parse(&value("--segments")?)?,
                 "--power" => args.power = parse(&value("--power")?)?,
                 "--seed" => args.seed = parse(&value("--seed")?)?,
+                "--seeds" => {
+                    args.seeds = Some(
+                        value("--seeds")?
+                            .split(',')
+                            .map(parse)
+                            .collect::<Result<_, _>>()?,
+                    );
+                }
                 "--protocol" => args.protocol = value("--protocol")?,
                 "--capture" => args.capture = true,
                 "--heatmap" => args.heatmap = true,
@@ -85,7 +96,7 @@ impl Args {
     }
 }
 
-const USAGE: &str = "Usage: mnp-run [--rows N] [--cols N] [--spacing FT] [--segments N]\n               [--power LEVEL] [--seed N] [--protocol mnp|deluge]\n               [--capture] [--heatmap] [--parents]\n               [--events PATH] [--metrics PATH] [--timeline PATH]\n               [--check-invariants]";
+const USAGE: &str = "Usage: mnp-run [--rows N] [--cols N] [--spacing FT] [--segments N]\n               [--power LEVEL] [--seed N] [--seeds A,B,...]\n               [--protocol mnp|deluge]\n               [--capture] [--heatmap] [--parents]\n               [--events PATH] [--metrics PATH] [--timeline PATH]\n               [--check-invariants]";
 
 fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String>
 where
@@ -117,6 +128,10 @@ fn main() -> ExitCode {
         args.seed,
         args.capture
     );
+
+    if let Some(seeds) = &args.seeds {
+        return run_seeds(&args, &scenario, seeds);
+    }
 
     // Shared handles keep the observers readable after the network (which
     // owns the attached boxes) is dropped.
@@ -184,6 +199,44 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!("dissemination did not complete before the deadline");
+        ExitCode::FAILURE
+    }
+}
+
+fn run_seeds(args: &Args, scenario: &GridExperiment, seeds: &[u64]) -> ExitCode {
+    // One observer cannot soundly record several concurrent runs; the
+    // multi-seed mode is summary-only.
+    if args.events.is_some()
+        || args.metrics.is_some()
+        || args.timeline.is_some()
+        || args.check_invariants
+        || args.heatmap
+        || args.parents
+    {
+        eprintln!("--seeds cannot be combined with observer or rendering flags");
+        return ExitCode::FAILURE;
+    }
+    let outs = match args.protocol.as_str() {
+        "mnp" => scenario.run_seeds(seeds),
+        "deluge" => scenario.run_seeds_with(seeds, |s| s.run_deluge(|_| {})),
+        other => {
+            eprintln!("unknown protocol {other:?} (use mnp or deluge)");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (seed, out) in seeds.iter().zip(&outs) {
+        print!("seed {seed:>3}: {out}");
+    }
+    let completions: Vec<f64> = outs.iter().map(RunOutcome::completion_s).collect();
+    println!(
+        "mean completion {:.0}s over {} seeds",
+        mnp_trace::mean(&completions),
+        seeds.len()
+    );
+    if outs.iter().all(|o| o.completed) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("some seed did not complete before the deadline");
         ExitCode::FAILURE
     }
 }

@@ -49,8 +49,7 @@ impl Fig12 {
         if m == 0.0 {
             return 0.0;
         }
-        let var = active.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / active.len() as f64;
-        var.sqrt() / m
+        mnp_trace::variance(&active).sqrt() / m
     }
 }
 

@@ -46,7 +46,6 @@
 //!             ctx.send(Ping(msg.0));
 //!         }
 //!     }
-//!     fn on_timer(&mut self, _: &mut Context<'_, Ping>, _: u64) {}
 //! }
 //!
 //! let mut links = LinkTable::new(3);
@@ -70,6 +69,7 @@ pub use context::Context;
 pub use network::{Network, NetworkBuilder};
 pub use protocol::{EepromOps, Protocol, WireMsg};
 
-// Re-exported so protocol crates can implement `WireMsg::detail` and
-// attach observers without depending on `mnp-obs` directly.
-pub use mnp_obs::{MsgDetail, ObsEvent, Observer};
+// Re-exported so protocol crates can implement `WireMsg::detail`, derive
+// observer-facing state labels, and attach observers without depending on
+// `mnp-obs` directly.
+pub use mnp_obs::{MsgDetail, ObsEvent, Observer, StateLabel};

@@ -61,6 +61,13 @@ pub struct EepromOps {
 /// should encode an epoch in the token and ignore stale firings. This
 /// mirrors TinyOS, where fired timer events of torn-down state machines
 /// are filtered in the handler.
+///
+/// Protocols may take the raw path (override [`on_timer`](Protocol::on_timer)
+/// and interpret tokens themselves) or the typed path: override
+/// [`decode_timer`](Protocol::decode_timer) (usually delegating to a
+/// `mnp::engine::TimerMux`) and [`on_timer_kind`](Protocol::on_timer_kind);
+/// the default `on_timer` then routes live firings to the kind handler and
+/// stale ones to [`on_stale_timer`](Protocol::on_stale_timer).
 pub trait Protocol: Sized {
     /// The protocol's message type.
     type Msg: WireMsg + Clone + Debug;
@@ -76,7 +83,37 @@ pub trait Protocol: Sized {
 
     /// Called when a timer set through the context fires. `token` is the
     /// value passed to [`Context::set_timer`].
-    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, token: u64);
+    ///
+    /// The default implementation is the typed path: it decodes the token
+    /// with [`decode_timer`](Protocol::decode_timer) and dispatches live
+    /// kinds to [`on_timer_kind`](Protocol::on_timer_kind), stale tokens
+    /// to [`on_stale_timer`](Protocol::on_stale_timer).
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, token: u64) {
+        match self.decode_timer(token) {
+            Some(kind) => self.on_timer_kind(ctx, kind),
+            None => self.on_stale_timer(ctx, token),
+        }
+    }
+
+    /// Extracts the timer kind from a token, or `None` if the token is
+    /// stale (minted by a torn-down state). The default treats every token
+    /// as a live kind.
+    fn decode_timer(&self, token: u64) -> Option<u64> {
+        Some(token)
+    }
+
+    /// Handles a live timer of the given kind (typed path; see
+    /// [`on_timer`](Protocol::on_timer)).
+    fn on_timer_kind(&mut self, ctx: &mut Context<'_, Self::Msg>, kind: u64) {
+        let _ = (ctx, kind);
+    }
+
+    /// Observes a stale timer firing (typed path). Most protocols ignore
+    /// these; MNP bills state-residency time here, since even a discarded
+    /// event marks the passage of active time.
+    fn on_stale_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, token: u64) {
+        let _ = (ctx, token);
+    }
 
     /// Called when a sleep requested through [`Context::sleep_for`] ends
     /// and the radio is back on.
@@ -120,12 +157,13 @@ mod tests {
         type Msg = Nop;
         fn on_start(&mut self, _: &mut Context<'_, Nop>) {}
         fn on_message(&mut self, _: &mut Context<'_, Nop>, _: NodeId, _: &Nop) {}
-        fn on_timer(&mut self, _: &mut Context<'_, Nop>, _: u64) {}
     }
 
     #[test]
     fn defaults_are_usable() {
         let m = Minimal;
         assert_eq!(m.eeprom_ops(), EepromOps::default());
+        // The default typed path treats every token as a live kind.
+        assert_eq!(m.decode_timer(42), Some(42));
     }
 }

@@ -24,7 +24,7 @@
 //! one hook path.
 //!
 //! The build environment is offline: all JSON here is hand-rolled (no
-//! serde), see [`json`]'s module docs.
+//! serde), see the `json` module's docs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +35,7 @@ mod json;
 mod jsonl;
 mod metrics;
 mod observer;
+mod state_label;
 mod timeline;
 pub mod trace_adapter;
 
@@ -43,4 +44,5 @@ pub use invariants::InvariantMonitor;
 pub use jsonl::JsonlLogger;
 pub use metrics::{Histogram, MetricsRegistry, NodeMetrics};
 pub use observer::{Observer, Shared};
+pub use state_label::StateLabel;
 pub use timeline::TimelineExporter;

@@ -1,0 +1,17 @@
+//! Stable state labels for timelines, logs and metrics.
+
+/// A protocol state enum that names itself for observers.
+///
+/// Timeline spans, JSONL `State` events and per-state metrics all key on
+/// the string a protocol reports from `state_label()`. Deriving that
+/// string from the state enum itself — rather than recomputing it from
+/// surrounding fields — makes drift between the observed label and the
+/// actual state impossible: there is exactly one source of truth.
+///
+/// Labels must be stable (`&'static str`) and must not change while the
+/// state value is unchanged; observers diff consecutive labels by pointer
+/// or content to open and close spans.
+pub trait StateLabel: Copy {
+    /// The stable, human-readable name of this state.
+    fn label(self) -> &'static str;
+}

@@ -30,6 +30,6 @@ mod trace;
 mod windows;
 
 pub use render::{render_heatmap, render_parent_map, render_snapshot};
-pub use stats::{max, mean, min, percentile};
+pub use stats::{max, mean, min, percentile, variance};
 pub use trace::{MsgClass, NodeSummary, RunTrace};
 pub use windows::WindowedCounts;

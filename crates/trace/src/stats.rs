@@ -15,6 +15,22 @@ pub fn mean(values: &[f64]) -> f64 {
     values.iter().sum::<f64>() / values.len() as f64
 }
 
+/// Population variance; 0 for slices shorter than two elements.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(mnp_trace::variance(&[2.0, 4.0, 6.0]), 8.0 / 3.0);
+/// assert_eq!(mnp_trace::variance(&[5.0]), 0.0);
+/// ```
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64
+}
+
 /// Minimum; 0 for an empty slice.
 pub fn min(values: &[f64]) -> f64 {
     values
@@ -79,6 +95,15 @@ mod tests {
     #[test]
     fn mean_of_values() {
         assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn variance_of_values() {
+        assert_eq!(variance(&[1.0, 1.0, 1.0]), 0.0);
+        assert_eq!(variance(&[2.0, 4.0]), 1.0);
+        // Degenerate inputs degrade to 0 like every other summary.
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[9.0]), 0.0);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use proptest::prelude::*;
 
 use mnp_repro::prelude::*;
+use mnp_repro::protocol::engine::{self, ForwardVector};
 
 /// Builds a random connected link graph of `n` nodes by sprinkling them in
 /// a field sized to keep the graph connected most of the time, resampling
@@ -98,6 +99,58 @@ proptest! {
             prop_assert!(*noidle <= *total + 1e-6);
             prop_assert!(*total >= 0.0 && *noidle >= 0.0);
         }
+    }
+
+    /// The engine's MissingVector is the exact complement of the store:
+    /// a bit is set iff the packet has not been written.
+    #[test]
+    fn prop_missing_vector_complements_the_store(
+        written in proptest::collection::vec(0u16..128, 0..96),
+    ) {
+        let image = ProgramImage::synthetic(ProgramId(1), ImageLayout::paper_default(1));
+        let mut store = PacketStore::new(ProgramId(1), image.layout());
+        for &pkt in &written {
+            // Duplicates in `written` double as a write-once check.
+            let first_time = !store.has_packet(0, pkt);
+            let stored = engine::store_packet_once(&mut store, 0, pkt, image.packet_payload(0, pkt));
+            prop_assert_eq!(stored, first_time);
+        }
+        let missing = engine::missing_vector(&store, 0);
+        for pkt in 0..128u16 {
+            prop_assert_eq!(missing.get(pkt), !written.contains(&pkt));
+        }
+    }
+
+    /// A sender's ForwardVector — the union of its requesters' missing
+    /// vectors — drains every requested packet exactly once, whatever the
+    /// overlap between requesters.
+    #[test]
+    fn prop_forward_vector_union_drains_each_loss_once(
+        lost_a in proptest::collection::vec(0u16..128, 0..48),
+        lost_b in proptest::collection::vec(0u16..128, 0..48),
+    ) {
+        let mut a = PacketBitmap::empty();
+        let mut b = PacketBitmap::empty();
+        for &pkt in &lost_a {
+            a.set(pkt);
+        }
+        for &pkt in &lost_b {
+            b.set(pkt);
+        }
+        let mut fwd = ForwardVector::new();
+        fwd.union_with(&a);
+        fwd.union_with(&b);
+        let mut expected: Vec<u16> = lost_a.iter().chain(&lost_b).copied().collect();
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(fwd.count() as usize, expected.len());
+        let mut drained = Vec::new();
+        while let Some(pkt) = fwd.pop_round_robin(128) {
+            drained.push(pkt);
+        }
+        drained.sort_unstable();
+        prop_assert_eq!(drained, expected);
+        prop_assert!(fwd.is_empty());
     }
 
     /// The trace's message accounting matches the medium's: a network
