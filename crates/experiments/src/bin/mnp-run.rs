@@ -7,6 +7,8 @@
 //!                [--capture] [--heatmap] [--parents]
 //!                [--events PATH] [--metrics PATH] [--timeline PATH]
 //!                [--check-invariants]
+//!        mnp-run scale [--seed N] [--segments N] [--out PATH]
+//!                      [--grids RxC,RxC,...]
 //! ```
 //!
 //! Prints the run summary (completion, active radio time, messages,
@@ -16,14 +18,70 @@
 //! a per-node metrics JSON document, `--timeline` a Chrome-trace JSON
 //! loadable in Perfetto, and `--check-invariants` an online protocol
 //! safety monitor that fails fast on any violation.
+//!
+//! `mnp-run scale` instead runs the large-grid scale benchmark
+//! (wall-time, events/sec, heap allocations; see `mnp_experiments::scale`)
+//! and writes `BENCH_scale.json`. This binary installs a counting global
+//! allocator so the benchmark can prove the radio hot path allocates
+//! nothing in steady state; the counting is two relaxed atomic increments
+//! per allocation and does not perturb the measured wall times
+//! meaningfully.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use mnp_experiments::{GridExperiment, RunOutcome};
+use mnp_experiments::{scale, GridExperiment, RunOutcome};
 use mnp_net::Observer;
 use mnp_obs::{InvariantMonitor, JsonlLogger, MetricsRegistry, Shared, TimelineExporter};
 use mnp_radio::{NodeId, PowerLevel};
 use mnp_trace::{render_heatmap, render_parent_map};
+
+/// [`System`] plus cumulative allocation counters, for `mnp-run scale`.
+///
+/// Lives here rather than in the library because a global allocator is
+/// `unsafe` and the library crates `#![forbid(unsafe_code)]`.
+struct CountingAlloc {
+    allocs: AtomicU64,
+    bytes: AtomicU64,
+}
+
+// SAFETY: defers every operation to `System`; the counters are
+// side-effect-only and never influence what is returned.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(
+            new_size.saturating_sub(layout.size()) as u64,
+            Ordering::Relaxed,
+        );
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc {
+    allocs: AtomicU64::new(0),
+    bytes: AtomicU64::new(0),
+};
+
+fn alloc_counters() -> (u64, u64) {
+    (
+        ALLOC.allocs.load(Ordering::Relaxed),
+        ALLOC.bytes.load(Ordering::Relaxed),
+    )
+}
 
 struct Args {
     rows: usize,
@@ -96,7 +154,7 @@ impl Args {
     }
 }
 
-const USAGE: &str = "Usage: mnp-run [--rows N] [--cols N] [--spacing FT] [--segments N]\n               [--power LEVEL] [--seed N] [--seeds A,B,...]\n               [--protocol mnp|deluge]\n               [--capture] [--heatmap] [--parents]\n               [--events PATH] [--metrics PATH] [--timeline PATH]\n               [--check-invariants]";
+const USAGE: &str = "Usage: mnp-run [--rows N] [--cols N] [--spacing FT] [--segments N]\n               [--power LEVEL] [--seed N] [--seeds A,B,...]\n               [--protocol mnp|deluge]\n               [--capture] [--heatmap] [--parents]\n               [--events PATH] [--metrics PATH] [--timeline PATH]\n               [--check-invariants]\n       mnp-run scale [--seed N] [--segments N] [--out PATH]\n                     [--grids RxC,RxC,...]";
 
 fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String>
 where
@@ -106,6 +164,15 @@ where
 }
 
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("scale") {
+        return match run_scale(std::env::args().skip(2)) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let args = match Args::parse() {
         Ok(a) => a,
         Err(msg) => {
@@ -201,6 +268,59 @@ fn main() -> ExitCode {
         eprintln!("dissemination did not complete before the deadline");
         ExitCode::FAILURE
     }
+}
+
+/// `mnp-run scale`: the large-grid benchmark behind `BENCH_scale.json`.
+fn run_scale(mut it: impl Iterator<Item = String>) -> Result<ExitCode, String> {
+    let mut seed = 42u64;
+    let mut segments = 1u16;
+    let mut out_path = String::from("BENCH_scale.json");
+    let mut grids: Vec<(usize, usize)> = scale::DEFAULT_GRIDS.to_vec();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--seed" => seed = parse(&value("--seed")?)?,
+            "--segments" => segments = parse(&value("--segments")?)?,
+            "--out" => out_path = value("--out")?,
+            "--grids" => {
+                grids = value("--grids")?
+                    .split(',')
+                    .map(|g| {
+                        let (r, c) = g
+                            .split_once('x')
+                            .ok_or_else(|| format!("bad grid {g:?}: want RxC"))?;
+                        Ok((parse(r)?, parse(c)?))
+                    })
+                    .collect::<Result<_, String>>()?;
+            }
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if grids.is_empty() {
+        return Err("--grids needs at least one grid".into());
+    }
+
+    let mut measurements = Vec::with_capacity(grids.len());
+    for &(rows, cols) in &grids {
+        let m = scale::measure(rows, cols, segments, seed, &alloc_counters);
+        print!("{m}");
+        measurements.push(m);
+    }
+    let steady_clean = measurements.iter().all(|m| m.steady_state_allocs == 0);
+    if !steady_clean {
+        eprintln!("warning: the medium hot path allocated in steady state");
+    }
+    std::fs::write(&out_path, scale::render_json(&measurements))
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!("wrote {out_path}");
+    Ok(
+        if measurements.iter().all(|m| m.completed) && steady_clean {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        },
+    )
 }
 
 fn run_seeds(args: &Args, scenario: &GridExperiment, seeds: &[u64]) -> ExitCode {

@@ -87,10 +87,20 @@ mod tests {
 
     #[test]
     fn capture_reduces_collisions() {
-        let c = run_with(6, 1, 901);
+        // Capture needs a BER spread to act on, so the claim only holds on
+        // a multihop grid: a small full-power grid is a near-clique where
+        // signals rarely differ by the order of magnitude capture demands,
+        // and the schedule perturbation dominates. Aggregate over seeds —
+        // one run's collision total is noisy either way.
+        let (mut without, mut with) = (0u64, 0u64);
+        for seed in 901..904 {
+            let c = run_with(14, 1, seed);
+            without += c.rows[0].collisions;
+            with += c.rows[1].collisions;
+        }
         assert!(
-            c.rows[1].collisions < c.rows[0].collisions,
-            "capture must reduce collision damage: {c}"
+            with < without,
+            "capture must reduce collision damage in aggregate: {with} vs {without}"
         );
     }
 

@@ -23,6 +23,7 @@
 //! | [`resilience`] | §3.3 — fail-stop sender-death resilience |
 //! | [`capture`] | X4 — capture-effect sensitivity of the radio model |
 //! | [`ablation`] | DESIGN.md A1–A4 — design-choice ablations |
+//! | [`scale`] | simulator scale benchmark (`mnp-run scale`, BENCH_scale.json) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,6 +43,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod resilience;
 pub mod runner;
+pub mod scale;
 pub mod subsets;
 pub mod table1;
 

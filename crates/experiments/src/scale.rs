@@ -1,0 +1,334 @@
+//! Large-grid scale benchmark (`mnp-run scale`).
+//!
+//! Drives seeded MNP runs on large grids — by default the paper's 20×20
+//! simulation grid and a 50×50 stress grid — and records wall-clock time,
+//! simulator throughput (events per second), and heap-allocation counts.
+//! The result renders as `BENCH_scale.json`.
+//!
+//! Allocation counting itself lives in the `mnp-run` binary: a counting
+//! global allocator needs `unsafe`, which this library forbids. This
+//! module only takes the counter as a closure returning cumulative
+//! `(allocations, bytes)` and works off deltas, so library tests can pass
+//! a stub.
+//!
+//! Besides the end-to-end run, [`MediumHotLoop`] isolates the radio-medium
+//! hot path (start → finish of one broadcast, every receiver resolved) so
+//! the benchmark can assert the pooled buffers make it allocation-free in
+//! steady state: after a warm-up that fills the listener/payload pools, a
+//! measured window of transmissions must report **zero** new allocations.
+
+use std::fmt;
+use std::time::Instant;
+
+use mnp_radio::{Frame, Medium, NodeId, TxOutcome, MAX_PAYLOAD_BYTES};
+use mnp_sim::{SimRng, SimTime};
+use mnp_topology::{GridSpec, TopologyBuilder};
+
+use crate::runner::GridExperiment;
+
+/// Cumulative `(allocations, bytes)` reported by the process allocator.
+pub type AllocCounter<'a> = &'a dyn Fn() -> (u64, u64);
+
+/// The default benchmark grids: the paper's simulation grid and a 6×
+/// larger stress grid.
+pub const DEFAULT_GRIDS: [(usize, usize); 2] = [(20, 20), (50, 50)];
+
+/// Minimum transmissions used to warm the medium pools before the
+/// measured window. [`measure`] raises this to one full round-robin cycle
+/// so every node has transmitted once: the pooled listener buffer only
+/// reaches its high-water capacity after the maximum-in-degree node has
+/// been the source.
+pub const STEADY_STATE_WARMUP: u64 = 512;
+
+/// Transmissions in the measured steady-state window.
+pub const STEADY_STATE_ROUNDS: u64 = 4_096;
+
+/// One grid's measurements: a full seeded MNP dissemination plus the
+/// isolated medium hot-path allocation check.
+#[derive(Clone, Debug)]
+pub struct ScaleMeasurement {
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// RNG seed of the measured run.
+    pub seed: u64,
+    /// Image segments disseminated.
+    pub segments: u16,
+    /// Whether every node finished before the deadline.
+    pub completed: bool,
+    /// Simulated completion time in seconds.
+    pub completion_s: f64,
+    /// Wall-clock time of the run in seconds.
+    pub wall_s: f64,
+    /// Discrete events the simulator processed.
+    pub events: u64,
+    /// Simulator throughput (`events / wall_s`).
+    pub events_per_sec: f64,
+    /// Heap allocations during the full run.
+    pub run_allocs: u64,
+    /// Bytes allocated during the full run.
+    pub run_alloc_bytes: u64,
+    /// Allocations across the measured steady-state medium window
+    /// ([`STEADY_STATE_ROUNDS`] transmissions after warm-up). The pooled
+    /// hot path keeps this at zero.
+    pub steady_state_allocs: u64,
+    /// Transmissions in the steady-state window.
+    pub steady_state_rounds: u64,
+}
+
+/// Runs the benchmark for one grid.
+///
+/// `alloc_counter` returns the allocator's cumulative `(allocations,
+/// bytes)`; pass a `|| (0, 0)` stub when no counting allocator is
+/// installed (the two `*_allocs` fields then read zero).
+pub fn measure(
+    rows: usize,
+    cols: usize,
+    segments: u16,
+    seed: u64,
+    alloc_counter: AllocCounter,
+) -> ScaleMeasurement {
+    let scenario = GridExperiment::new(rows, cols, 10.0)
+        .segments(segments)
+        .seed(seed);
+    let (allocs_before, bytes_before) = alloc_counter();
+    let start = Instant::now();
+    let out = scenario.run_mnp(|_| {});
+    let wall_s = start.elapsed().as_secs_f64();
+    let (allocs_after, bytes_after) = alloc_counter();
+
+    let mut hot = MediumHotLoop::new(rows, cols, seed);
+    for _ in 0..STEADY_STATE_WARMUP.max((rows * cols) as u64) {
+        hot.round();
+    }
+    let (steady_before, _) = alloc_counter();
+    for _ in 0..STEADY_STATE_ROUNDS {
+        hot.round();
+    }
+    let (steady_after, _) = alloc_counter();
+
+    ScaleMeasurement {
+        rows,
+        cols,
+        seed,
+        segments,
+        completed: out.completed,
+        completion_s: out.completion_s(),
+        wall_s,
+        events: out.events,
+        events_per_sec: if wall_s > 0.0 {
+            out.events as f64 / wall_s
+        } else {
+            0.0
+        },
+        run_allocs: allocs_after - allocs_before,
+        run_alloc_bytes: bytes_after - bytes_before,
+        steady_state_allocs: steady_after - steady_before,
+        steady_state_rounds: STEADY_STATE_ROUNDS,
+    }
+}
+
+impl fmt::Display for ScaleMeasurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}x{} seed {}: wall {:.2}s, {} events ({:.0}/s), sim {:.0}s, \
+             {} allocs ({} B), steady-state {} allocs / {} tx",
+            self.rows,
+            self.cols,
+            self.seed,
+            self.wall_s,
+            self.events,
+            self.events_per_sec,
+            self.completion_s,
+            self.run_allocs,
+            self.run_alloc_bytes,
+            self.steady_state_allocs,
+            self.steady_state_rounds,
+        )
+    }
+}
+
+/// Renders the measurements as the `BENCH_scale.json` document.
+///
+/// Schema: `{"bench": "scale", "grids": [{"rows", "cols", "seed",
+/// "segments", "completed", "completion_s", "wall_s", "events",
+/// "events_per_sec", "run_allocs", "run_alloc_bytes",
+/// "steady_state_allocs", "steady_state_rounds"}, ...]}`.
+pub fn render_json(measurements: &[ScaleMeasurement]) -> String {
+    let mut s = String::from("{\n  \"bench\": \"scale\",\n  \"grids\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"rows\": {},\n", m.rows));
+        s.push_str(&format!("      \"cols\": {},\n", m.cols));
+        s.push_str(&format!("      \"seed\": {},\n", m.seed));
+        s.push_str(&format!("      \"segments\": {},\n", m.segments));
+        s.push_str(&format!("      \"completed\": {},\n", m.completed));
+        s.push_str(&format!("      \"completion_s\": {:.3},\n", m.completion_s));
+        s.push_str(&format!("      \"wall_s\": {:.4},\n", m.wall_s));
+        s.push_str(&format!("      \"events\": {},\n", m.events));
+        s.push_str(&format!(
+            "      \"events_per_sec\": {:.0},\n",
+            m.events_per_sec
+        ));
+        s.push_str(&format!("      \"run_allocs\": {},\n", m.run_allocs));
+        s.push_str(&format!(
+            "      \"run_alloc_bytes\": {},\n",
+            m.run_alloc_bytes
+        ));
+        s.push_str(&format!(
+            "      \"steady_state_allocs\": {},\n",
+            m.steady_state_allocs
+        ));
+        s.push_str(&format!(
+            "      \"steady_state_rounds\": {}\n",
+            m.steady_state_rounds
+        ));
+        s.push_str(if i + 1 == measurements.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// The isolated radio-medium hot path: repeated single-frame broadcasts on
+/// a sampled grid topology, each finished immediately, with one reused
+/// [`TxOutcome`] scratch.
+///
+/// Round-robins the transmitter over all nodes so every pool (listener
+/// buffers, payload cells, per-node state) reaches its high-water mark
+/// during warm-up; afterwards [`MediumHotLoop::round`] touches the heap
+/// zero times per transmission.
+pub struct MediumHotLoop {
+    medium: Medium<[u8; MAX_PAYLOAD_BYTES]>,
+    scratch: TxOutcome<[u8; MAX_PAYLOAD_BYTES]>,
+    nodes: usize,
+    next: usize,
+    now: SimTime,
+    delivered: u64,
+    transmissions: u64,
+}
+
+impl MediumHotLoop {
+    /// Builds the loop over a `rows × cols` grid at the paper's 10 ft
+    /// spacing, full power, all radios on.
+    pub fn new(rows: usize, cols: usize, seed: u64) -> Self {
+        let grid = GridSpec::new(rows, cols, 10.0);
+        let mut rng = SimRng::new(seed);
+        let topo = TopologyBuilder::new(grid.placement()).build(&mut rng);
+        let mut medium = Medium::new(topo.links, rng.derive(0x5ca1e));
+        for i in 0..grid.len() {
+            medium.set_radio(NodeId::from_index(i), true, SimTime::ZERO);
+        }
+        MediumHotLoop {
+            medium,
+            scratch: TxOutcome::new(),
+            nodes: grid.len(),
+            next: 0,
+            now: SimTime::ZERO,
+            delivered: 0,
+            transmissions: 0,
+        }
+    }
+
+    /// One transmission: the next node in round-robin order broadcasts a
+    /// full-size frame, the medium resolves every receiver, and the
+    /// scratch outcome is cleared so the payload cell returns to the pool.
+    pub fn round(&mut self) {
+        let src = NodeId::from_index(self.next);
+        self.next = (self.next + 1) % self.nodes;
+        let frame = Frame::new(src, MAX_PAYLOAD_BYTES, [0u8; MAX_PAYLOAD_BYTES]);
+        // Every radio idles between rounds, so the send cannot fail.
+        let start = self
+            .medium
+            .start_transmission(src, frame, self.now)
+            .expect("round-robin transmitter is idle");
+        self.now += start.airtime;
+        self.medium
+            .finish_transmission_into(start.id, self.now, &mut self.scratch);
+        self.delivered += self.scratch.delivered.len() as u64;
+        self.transmissions += 1;
+        self.scratch.clear();
+    }
+
+    /// Frames delivered across all rounds so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Transmissions performed so far.
+    pub fn transmissions(&self) -> u64 {
+        self.transmissions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_loop_delivers_frames() {
+        let mut hot = MediumHotLoop::new(4, 4, 7);
+        for _ in 0..64 {
+            hot.round();
+        }
+        assert_eq!(hot.transmissions(), 64);
+        // A 4×4 full-power grid is a clique with near-perfect links; a
+        // sole transmitter must reach most of its 15 neighbours.
+        assert!(
+            hot.delivered() > 64 * 8,
+            "only {} deliveries",
+            hot.delivered()
+        );
+    }
+
+    #[test]
+    fn hot_loop_is_deterministic_per_seed() {
+        let mut a = MediumHotLoop::new(5, 5, 11);
+        let mut b = MediumHotLoop::new(5, 5, 11);
+        for _ in 0..128 {
+            a.round();
+            b.round();
+        }
+        assert_eq!(a.delivered(), b.delivered());
+    }
+
+    #[test]
+    fn measure_small_grid_with_stub_counter() {
+        let m = measure(4, 4, 1, 42, &|| (0, 0));
+        assert!(m.completed, "{m}");
+        assert!(m.events > 0);
+        assert!(m.wall_s > 0.0);
+        assert_eq!(m.steady_state_rounds, STEADY_STATE_ROUNDS);
+        assert_eq!(m.run_allocs, 0, "stub counter reads zero");
+    }
+
+    #[test]
+    fn json_has_schema_fields() {
+        let m = measure(3, 3, 1, 42, &|| (0, 0));
+        let json = render_json(&[m]);
+        for key in [
+            "\"bench\": \"scale\"",
+            "\"rows\"",
+            "\"cols\"",
+            "\"seed\"",
+            "\"segments\"",
+            "\"completed\"",
+            "\"completion_s\"",
+            "\"wall_s\"",
+            "\"events\"",
+            "\"events_per_sec\"",
+            "\"run_allocs\"",
+            "\"run_alloc_bytes\"",
+            "\"steady_state_allocs\"",
+            "\"steady_state_rounds\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(!json.contains("},\n  ]"), "no trailing comma: {json}");
+    }
+}

@@ -2,7 +2,7 @@
 
 use mnp_energy::EnergyMeter;
 use mnp_obs::{EventKind, LossCause, ObsEvent, Observer};
-use mnp_radio::{Csma, CsmaAction, CsmaConfig, Frame, LinkTable, Medium, NodeId, TxId};
+use mnp_radio::{Csma, CsmaAction, CsmaConfig, Frame, LinkTable, Medium, NodeId, TxId, TxOutcome};
 use mnp_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use mnp_trace::{MsgClass, RunTrace};
 
@@ -128,6 +128,8 @@ impl NetworkBuilder {
             events_processed: 0,
             observers: self.observers,
             run_ended: false,
+            outcome_scratch: TxOutcome::new(),
+            ops_scratch: Vec::new(),
         };
         // Report each node's initial state so timelines start at t = 0.
         if !net.observers.is_empty() {
@@ -166,6 +168,12 @@ pub struct Network<P: Protocol> {
     events_processed: u64,
     observers: Vec<Box<dyn Observer>>,
     run_ended: bool,
+    /// Reused delivery buffer: `tx_end` borrows it for the duration of one
+    /// finished transmission and returns it cleared, so the steady-state
+    /// delivery path performs no heap allocation.
+    outcome_scratch: TxOutcome<P::Msg>,
+    /// Reused protocol-effect buffer, same idea for `callback`.
+    ops_scratch: Vec<Op<P::Msg>>,
 }
 
 impl<P: Protocol> Network<P> {
@@ -421,7 +429,9 @@ impl<P: Protocol> Network<P> {
         kind: &'static str,
     ) {
         self.inflight[node.index()] = None;
-        let outcome = self.medium.finish_transmission(tx, self.now);
+        let mut outcome = std::mem::take(&mut self.outcome_scratch);
+        self.medium
+            .finish_transmission_into(tx, self.now, &mut outcome);
         debug_assert_eq!(outcome.src, node);
         let src = outcome.src;
         if !self.observers.is_empty() {
@@ -448,7 +458,8 @@ impl<P: Protocol> Network<P> {
                 );
             }
         }
-        for (recv, msg) in outcome.delivered {
+        for &(recv, ref msg) in &outcome.delivered {
+            let msg: &P::Msg = msg;
             self.meters[recv.index()].record_rx(airtime);
             self.emit(
                 recv,
@@ -460,8 +471,12 @@ impl<P: Protocol> Network<P> {
                     detail: msg.detail(),
                 },
             );
-            self.callback(recv, |p, ctx| p.on_message(ctx, src, &msg));
+            self.callback(recv, |p, ctx| p.on_message(ctx, src, msg));
         }
+        // Hand the cleared buffer back; dropping the payload handles here
+        // lets the medium recycle the payload cell for the next frame.
+        outcome.clear();
+        self.outcome_scratch = outcome;
         let i = node.index();
         match self.macs[i].tx_done(&mut self.mac_rngs[i]) {
             CsmaAction::Backoff(d) => {
@@ -491,8 +506,11 @@ impl<P: Protocol> Network<P> {
             ""
         };
         let mut ctx = Context::new(self.now, node, &mut self.node_rngs[i]);
+        // Collect effects into the pooled buffer instead of a fresh Vec.
+        debug_assert!(self.ops_scratch.is_empty());
+        ctx.ops = std::mem::take(&mut self.ops_scratch);
         f(&mut self.protocols[i], &mut ctx);
-        let ops = std::mem::take(&mut ctx.ops);
+        let mut ops = std::mem::take(&mut ctx.ops);
         if watched {
             let after = self.protocols[i].state_label();
             if after != before {
@@ -505,12 +523,13 @@ impl<P: Protocol> Network<P> {
                 );
             }
         }
-        self.apply_ops(node, ops);
+        self.apply_ops(node, &mut ops);
+        self.ops_scratch = ops;
     }
 
-    fn apply_ops(&mut self, node: NodeId, ops: Vec<Op<P::Msg>>) {
+    fn apply_ops(&mut self, node: NodeId, ops: &mut Vec<Op<P::Msg>>) {
         let i = node.index();
-        for op in ops {
+        for op in ops.drain(..) {
             match op {
                 Op::Send(msg) => {
                     assert!(self.awake[i], "{node} sent a message while asleep");

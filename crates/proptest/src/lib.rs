@@ -168,6 +168,44 @@ pub mod strategy {
 
     impl_range_strategy!(u8, u16, u32, u64, usize);
 
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            // 2^53 inclusive steps across the range; close enough to the
+            // real crate's behaviour for test generation.
+            let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+            self.start() + unit * (self.end() - self.start())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),*) => {
+            impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+                type Value = ($($name::Value,)*);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)*) = self;
+                    ($($name.generate(rng),)*)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+
     /// Weighted choice between boxed alternatives ([`crate::prop_oneof!`]).
     pub struct Union<T> {
         arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,

@@ -40,7 +40,9 @@ impl Default for CsmaConfig {
     fn default() -> Self {
         CsmaConfig {
             initial_backoff_min: SimDuration::from_micros(400),
-            initial_backoff_max: SimDuration::from_millis(13),
+            // 12.8 ms exactly (the Mica-2 stack's 1/4 of the 51.2 ms
+            // congestion window), not a rounded-up 13 ms.
+            initial_backoff_max: SimDuration::from_micros(12_800),
             congestion_backoff_min: SimDuration::from_micros(400),
             congestion_backoff_max: SimDuration::from_micros(51_200),
             queue_capacity: 8,
@@ -332,7 +334,9 @@ mod tests {
         for _ in 0..200 {
             match m.enqueue(frame(1), &mut rng) {
                 CsmaAction::Backoff(d) => {
-                    assert!(d >= SimDuration::from_micros(400) && d < SimDuration::from_millis(13));
+                    assert!(
+                        d >= SimDuration::from_micros(400) && d < SimDuration::from_micros(12_800)
+                    );
                 }
                 other => panic!("{other:?}"),
             }

@@ -26,6 +26,11 @@ use crate::ids::NodeId;
 pub struct LinkTable {
     /// `out[a]` lists `(b, ber)` for every edge `a → b`, sorted by `b`.
     out: Vec<Vec<(NodeId, f64)>>,
+    /// Reverse adjacency: `inn[b]` lists `(a, ber)` for every edge
+    /// `a → b`, sorted by `a`. Maintained by [`LinkTable::connect`] so
+    /// in-degree and "whom can I hear" queries cost `O(degree)` instead of
+    /// scanning every row.
+    inn: Vec<Vec<(NodeId, f64)>>,
 }
 
 impl LinkTable {
@@ -33,6 +38,7 @@ impl LinkTable {
     pub fn new(n: usize) -> Self {
         LinkTable {
             out: vec![Vec::new(); n],
+            inn: vec![Vec::new(); n],
         }
     }
 
@@ -63,6 +69,11 @@ impl LinkTable {
             Ok(i) => row[i].1 = ber,
             Err(i) => row.insert(i, (to, ber)),
         }
+        let rev = &mut self.inn[to.index()];
+        match rev.binary_search_by_key(&from, |&(a, _)| a) {
+            Ok(i) => rev[i].1 = ber,
+            Err(i) => rev.insert(i, (from, ber)),
+        }
     }
 
     /// The bit error rate of `from → to`, or `None` if `to` cannot hear
@@ -88,12 +99,21 @@ impl LinkTable {
         self.out.iter().map(Vec::len).sum()
     }
 
-    /// In-degree of `node` (how many transmitters it can hear). `O(V+E)`.
+    /// In-degree of `node` (how many transmitters it can hear). `O(1)` via
+    /// the precomputed reverse-adjacency index.
     pub fn in_degree(&self, node: NodeId) -> usize {
-        self.out
-            .iter()
-            .map(|row| usize::from(row.binary_search_by_key(&node, |&(b, _)| b).is_ok()))
-            .sum()
+        self.inn.get(node.index()).map_or(0, Vec::len)
+    }
+
+    /// Iterates over `(source, ber)` for every transmitter `to` can hear —
+    /// the reverse of [`LinkTable::neighbors`], in `O(in-degree)` via the
+    /// index maintained by [`LinkTable::connect`].
+    pub fn incoming(&self, to: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        self.inn
+            .get(to.index())
+            .map(|r| r.iter().copied())
+            .into_iter()
+            .flatten()
     }
 
     /// Whether every node can reach every other node along directed edges
@@ -186,6 +206,30 @@ mod tests {
         t.connect(NodeId(1), NodeId(2), 0.0);
         assert_eq!(t.in_degree(NodeId(2)), 2);
         assert_eq!(t.in_degree(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn incoming_lists_audible_sources_sorted() {
+        let mut t = LinkTable::new(5);
+        t.connect(NodeId(4), NodeId(1), 0.3);
+        t.connect(NodeId(0), NodeId(1), 0.1);
+        t.connect(NodeId(2), NodeId(1), 0.2);
+        let inc: Vec<(NodeId, f64)> = t.incoming(NodeId(1)).collect();
+        assert_eq!(
+            inc,
+            vec![(NodeId(0), 0.1), (NodeId(2), 0.2), (NodeId(4), 0.3)]
+        );
+        assert_eq!(t.incoming(NodeId(0)).count(), 0);
+    }
+
+    #[test]
+    fn connect_replacement_updates_reverse_index() {
+        let mut t = LinkTable::new(2);
+        t.connect(NodeId(0), NodeId(1), 0.1);
+        t.connect(NodeId(0), NodeId(1), 0.4);
+        assert_eq!(t.in_degree(NodeId(1)), 1);
+        let inc: Vec<(NodeId, f64)> = t.incoming(NodeId(1)).collect();
+        assert_eq!(inc, vec![(NodeId(0), 0.4)]);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::rc::Rc;
 
 use mnp_sim::{SimDuration, SimRng, SimTime};
 
@@ -78,17 +79,53 @@ pub struct TxStart {
 }
 
 /// What happened to a finished transmission at each audible receiver.
+///
+/// Delivered payloads are shared by reference-counted handle: one frame on
+/// the air is one payload, however many receivers decode it. Callers that
+/// drive the medium in a loop should reuse one `TxOutcome` via
+/// [`Medium::finish_transmission_into`] and [`TxOutcome::clear`] so the
+/// steady-state hot path performs no heap allocation.
 #[derive(Clone, Debug)]
 pub struct TxOutcome<P> {
     /// The transmitter.
     pub src: NodeId,
-    /// Receivers that got the frame intact, with their payload copies.
-    pub delivered: Vec<(NodeId, P)>,
+    /// Receivers that got the frame intact, with a shared payload handle.
+    pub delivered: Vec<(NodeId, Rc<P>)>,
     /// Receivers whose reception was corrupted by an overlapping
     /// transmission (collision / hidden terminal).
     pub corrupted: Vec<NodeId>,
     /// Receivers that lost the frame to link bit errors.
     pub missed: Vec<NodeId>,
+}
+
+impl<P> TxOutcome<P> {
+    /// An empty outcome (placeholder source), ready to be filled by
+    /// [`Medium::finish_transmission_into`].
+    pub fn new() -> Self {
+        TxOutcome {
+            src: NodeId(0),
+            delivered: Vec::new(),
+            corrupted: Vec::new(),
+            missed: Vec::new(),
+        }
+    }
+
+    /// Empties the receiver lists, dropping any payload handles they hold.
+    ///
+    /// Reusing a cleared outcome keeps its `Vec` capacities, and releasing
+    /// the payload handles lets the medium recycle the payload allocation
+    /// for a later transmission.
+    pub fn clear(&mut self) {
+        self.delivered.clear();
+        self.corrupted.clear();
+        self.missed.clear();
+    }
+}
+
+impl<P> Default for TxOutcome<P> {
+    fn default() -> Self {
+        TxOutcome::new()
+    }
 }
 
 /// Per-node medium statistics.
@@ -102,6 +139,14 @@ pub struct MediumStats {
     pub collisions: u64,
     /// Receptions lost to link bit errors at this node.
     pub bit_error_losses: u64,
+    /// Receptions this node abandoned before the frame ended: it
+    /// force-transmitted over its own lock, powered its radio down, or the
+    /// transmitter died mid-frame (truncated frame, CRC failure).
+    ///
+    /// Together with the outcome counters this balances the books: every
+    /// reception lock is resolved as exactly one of delivered, corrupted,
+    /// bit-error loss, or aborted.
+    pub rx_aborted: u64,
 }
 
 #[derive(Clone, Debug, Default)]
@@ -122,7 +167,10 @@ struct RxLock {
 #[derive(Debug)]
 struct ActiveTx<P> {
     src: NodeId,
-    frame: Frame<P>,
+    /// On-air frame length in bits (drives the bit-error coin flip).
+    bits: u32,
+    /// The payload, shared with every receiver that decodes the frame.
+    payload: Rc<P>,
     /// Nodes that locked onto this frame at its start.
     listeners: Vec<NodeId>,
 }
@@ -156,9 +204,17 @@ pub struct Medium<P> {
     rng: SimRng,
     next_tx: u64,
     capture: bool,
+    /// Recycled listener buffers: one per concurrent transmission at the
+    /// high-water mark, so steady-state `start_transmission` never
+    /// allocates.
+    listener_pool: Vec<Vec<NodeId>>,
+    /// Recycled payload cells. A popped handle is overwritten in place when
+    /// every receiver has dropped its copy (the common case once the caller
+    /// clears its reused [`TxOutcome`]), and replaced otherwise.
+    payload_pool: Vec<Rc<P>>,
 }
 
-impl<P: Clone> Medium<P> {
+impl<P> Medium<P> {
     /// Creates a medium over `links` with every radio initially listening.
     pub fn new(links: LinkTable, rng: SimRng) -> Self {
         let n = links.len();
@@ -174,6 +230,8 @@ impl<P: Clone> Medium<P> {
             rng,
             next_tx: 0,
             capture: false,
+            listener_pool: Vec::new(),
+            payload_pool: Vec::new(),
         }
     }
 
@@ -239,7 +297,9 @@ impl<P: Clone> Medium<P> {
                 );
                 cell.active_time += now.saturating_since(cell.on_since.take().expect("radio on"));
                 cell.state = RadioState::Off;
-                cell.current_rx = None;
+                if cell.current_rx.take().is_some() {
+                    self.stats[node.index()].rx_aborted += 1;
+                }
             }
             _ => {}
         }
@@ -260,15 +320,22 @@ impl<P: Clone> Medium<P> {
 
     /// Whether `node` senses the channel busy: it is receiving,
     /// transmitting, or can hear any in-flight transmission.
+    ///
+    /// The listening case walks the reverse-adjacency index — the
+    /// transmitters `node` can hear — in `O(in-degree)`, independent of how
+    /// many transmissions are in flight network-wide.
     pub fn channel_busy(&self, node: NodeId) -> bool {
         let cell = &self.radios[node.index()];
         match cell.state {
             RadioState::Off => false,
             RadioState::Receiving | RadioState::Transmitting => true,
+            // A node is Transmitting iff it has a frame in `active`, so
+            // audible in-flight transmissions are exactly the audible
+            // transmitters in the Transmitting state.
             RadioState::Listening => self
-                .active
-                .values()
-                .any(|tx| self.links.ber(tx.src, node).is_some()),
+                .links
+                .incoming(node)
+                .any(|(src, _)| self.radios[src.index()].state == RadioState::Transmitting),
         }
     }
 
@@ -297,6 +364,7 @@ impl<P: Clone> Medium<P> {
                     // Forced send aborts the reception in progress.
                     cell.current_rx = None;
                     cell.state = RadioState::Transmitting;
+                    self.stats[src.index()].rx_aborted += 1;
                 }
                 RadioState::Listening => cell.state = RadioState::Transmitting,
             }
@@ -304,12 +372,23 @@ impl<P: Clone> Medium<P> {
         let id = TxId(self.next_tx);
         self.next_tx += 1;
         let airtime = frame.airtime();
+        let bits = frame.bits();
         self.stats[src.index()].frames_sent += 1;
 
-        let mut listeners = Vec::new();
-        let neighbors: Vec<NodeId> = self.links.neighbors(src).map(|(n, _)| n).collect();
-        for n in neighbors {
-            let cell = &mut self.radios[n.index()];
+        let mut listeners = self.listener_pool.pop().unwrap_or_default();
+        debug_assert!(listeners.is_empty());
+        // Split borrows: the link graph is read while radio cells and stats
+        // are written, so the neighbor walk needs no temporary collection.
+        let Medium {
+            links,
+            radios,
+            active,
+            stats,
+            capture,
+            ..
+        } = &mut *self;
+        for (n, _) in links.neighbors(src) {
+            let cell = &mut radios[n.index()];
             match cell.state {
                 RadioState::Off | RadioState::Transmitting => {}
                 RadioState::Listening => {
@@ -324,13 +403,13 @@ impl<P: Clone> Medium<P> {
                     // Overlap. Without capture the ongoing reception is
                     // corrupted and this frame is lost at `n` too. With
                     // capture, a much cleaner locked signal survives.
-                    let survives = self.capture
+                    let survives = *capture
                         && cell.current_rx.is_some_and(|lock| {
-                            let locked_src = self.active.get(&lock.tx).map(|tx| tx.src);
+                            let locked_src = active.get(&lock.tx).map(|tx| tx.src);
                             match locked_src {
                                 Some(ls) => {
-                                    let cur = self.links.ber(ls, n).unwrap_or(1.0);
-                                    let new = self.links.ber(src, n).unwrap_or(1.0);
+                                    let cur = links.ber(ls, n).unwrap_or(1.0);
+                                    let new = links.ber(src, n).unwrap_or(1.0);
                                     // Order-of-magnitude BER advantage ≈
                                     // the ~6 dB power ratio real radios
                                     // need to capture.
@@ -345,16 +424,30 @@ impl<P: Clone> Medium<P> {
                                 lock.corrupted = true;
                             }
                         }
-                        self.stats[n.index()].collisions += 1;
+                        stats[n.index()].collisions += 1;
                     }
                 }
             }
         }
+        let payload = match self.payload_pool.pop() {
+            // A pooled cell is exclusively ours once every receiver handle
+            // from its previous life has been dropped; write the new
+            // payload into it in place.
+            Some(mut cell) => match Rc::get_mut(&mut cell) {
+                Some(slot) => {
+                    *slot = frame.payload;
+                    cell
+                }
+                None => Rc::new(frame.payload),
+            },
+            None => Rc::new(frame.payload),
+        };
         self.active.insert(
             id,
             ActiveTx {
                 src,
-                frame,
+                bits,
+                payload,
                 listeners,
             },
         );
@@ -364,51 +457,69 @@ impl<P: Clone> Medium<P> {
     /// Completes transmission `id` at time `now`, returning what each
     /// audible receiver got.
     ///
+    /// Allocates a fresh [`TxOutcome`]; hot loops should reuse one through
+    /// [`Medium::finish_transmission_into`] instead.
+    ///
     /// # Panics
     ///
     /// Panics if `id` is unknown or already finished.
-    pub fn finish_transmission(&mut self, id: TxId, _now: SimTime) -> TxOutcome<P> {
-        let tx = self.active.remove(&id).expect("unknown or finished TxId");
+    pub fn finish_transmission(&mut self, id: TxId, now: SimTime) -> TxOutcome<P> {
+        let mut outcome = TxOutcome::new();
+        self.finish_transmission_into(id, now, &mut outcome);
+        outcome
+    }
+
+    /// Completes transmission `id` at time `now`, filling `out` with what
+    /// each audible receiver got.
+    ///
+    /// `out` is cleared first, so a caller-owned scratch outcome can be
+    /// reused across calls; with a warmed-up medium this path performs no
+    /// heap allocation. Clear (or drop) `out` before the *next*
+    /// [`Medium::start_transmission`] so the payload cell can be recycled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or already finished.
+    pub fn finish_transmission_into(&mut self, id: TxId, _now: SimTime, out: &mut TxOutcome<P>) {
+        let mut tx = self.active.remove(&id).expect("unknown or finished TxId");
         // The transmitter returns to listening.
         {
             let cell = &mut self.radios[tx.src.index()];
             debug_assert_eq!(cell.state, RadioState::Transmitting);
             cell.state = RadioState::Listening;
         }
-        let bits = tx.frame.bits();
-        let mut outcome = TxOutcome {
-            src: tx.src,
-            delivered: Vec::new(),
-            corrupted: Vec::new(),
-            missed: Vec::new(),
-        };
-        for l in tx.listeners {
+        out.clear();
+        out.src = tx.src;
+        for &l in &tx.listeners {
             let cell = &mut self.radios[l.index()];
             let lock = match cell.current_rx {
                 Some(lock) if lock.tx == id => lock,
-                // The listener slept, or aborted to transmit: frame lost.
+                // The listener slept, or aborted to transmit: frame lost
+                // (already counted as `rx_aborted` when the lock died).
                 _ => continue,
             };
             cell.current_rx = None;
             cell.state = RadioState::Listening;
             if lock.corrupted {
                 self.stats[l.index()].collisions += 1;
-                outcome.corrupted.push(l);
+                out.corrupted.push(l);
                 continue;
             }
             let ber = self
                 .links
                 .ber(tx.src, l)
                 .expect("listener implies audible link");
-            if self.rng.chance(frame_success_probability(ber, bits)) {
+            if self.rng.chance(frame_success_probability(ber, tx.bits)) {
                 self.stats[l.index()].frames_received += 1;
-                outcome.delivered.push((l, tx.frame.payload.clone()));
+                out.delivered.push((l, Rc::clone(&tx.payload)));
             } else {
                 self.stats[l.index()].bit_error_losses += 1;
-                outcome.missed.push(l);
+                out.missed.push(l);
             }
         }
-        outcome
+        tx.listeners.clear();
+        self.listener_pool.push(tx.listeners);
+        self.payload_pool.push(tx.payload);
     }
 
     /// Per-node medium statistics.
@@ -426,20 +537,23 @@ impl<P: Clone> Medium<P> {
     ///
     /// Panics if `id` is unknown or already finished.
     pub fn abort_transmission(&mut self, id: TxId, _now: SimTime) {
-        let tx = self.active.remove(&id).expect("unknown or finished TxId");
+        let mut tx = self.active.remove(&id).expect("unknown or finished TxId");
         {
             let cell = &mut self.radios[tx.src.index()];
             debug_assert_eq!(cell.state, RadioState::Transmitting);
             cell.state = RadioState::Listening;
         }
-        for l in tx.listeners {
+        for &l in &tx.listeners {
             let cell = &mut self.radios[l.index()];
             if matches!(cell.current_rx, Some(lock) if lock.tx == id) {
                 cell.current_rx = None;
                 cell.state = RadioState::Listening;
-                self.stats[l.index()].bit_error_losses += 1;
+                self.stats[l.index()].rx_aborted += 1;
             }
         }
+        tx.listeners.clear();
+        self.listener_pool.push(tx.listeners);
+        self.payload_pool.push(tx.payload);
     }
 }
 
@@ -551,6 +665,7 @@ mod tests {
         m.set_radio(NodeId(1), false, t0 + SimDuration::from_millis(1));
         let out = m.finish_transmission(tx.id, t0 + tx.airtime);
         assert!(out.delivered.is_empty());
+        assert_eq!(m.stats(NodeId(1)).rx_aborted, 1, "lock died with the radio");
     }
 
     #[test]
@@ -647,6 +762,8 @@ mod tests {
         // Node 1 force-transmits mid-reception.
         let tx1 = m.start_transmission(NodeId(1), frame(1, 2), t0).unwrap();
         assert_eq!(m.radio_state(NodeId(1)), RadioState::Transmitting);
+        // The dropped lock is accounted, not silently lost.
+        assert_eq!(m.stats(NodeId(1)).rx_aborted, 1);
         let out0 = m.finish_transmission(tx0.id, t0 + tx0.airtime);
         // Node 1 aborted: neither delivered nor counted corrupted there.
         assert!(!out0.delivered.iter().any(|(n, _)| *n == NodeId(1)));
@@ -654,6 +771,170 @@ mod tests {
         // Node 2 was corrupted by the overlap.
         assert!(out0.corrupted.contains(&NodeId(2)));
         m.finish_transmission(tx1.id, t0 + tx1.airtime);
+    }
+
+    #[test]
+    fn payload_cell_is_recycled_across_transmissions() {
+        let mut m = clique(2);
+        let mut out = TxOutcome::new();
+        let t0 = SimTime::ZERO;
+        let tx = m.start_transmission(NodeId(0), frame(0, 1), t0).unwrap();
+        m.finish_transmission_into(tx.id, t0 + tx.airtime, &mut out);
+        let first = Rc::as_ptr(&out.delivered[0].1);
+        // Releasing the handles lets the pool hand the same cell back.
+        out.clear();
+        let t1 = t0 + tx.airtime;
+        let tx = m.start_transmission(NodeId(0), frame(0, 2), t1).unwrap();
+        m.finish_transmission_into(tx.id, t1 + tx.airtime, &mut out);
+        assert_eq!(
+            Rc::as_ptr(&out.delivered[0].1),
+            first,
+            "freed payload cell is reused in place"
+        );
+        assert_eq!(*out.delivered[0].1, 2);
+    }
+
+    #[test]
+    fn held_payload_handles_are_never_clobbered() {
+        let mut m = clique(2);
+        let t0 = SimTime::ZERO;
+        let tx = m.start_transmission(NodeId(0), frame(0, 7), t0).unwrap();
+        let out = m.finish_transmission(tx.id, t0 + tx.airtime);
+        let held = Rc::clone(&out.delivered[0].1);
+        // The pooled cell is still shared, so the next transmission must
+        // get a fresh cell rather than overwrite this one.
+        let t1 = t0 + tx.airtime;
+        let tx = m.start_transmission(NodeId(0), frame(0, 8), t1).unwrap();
+        let out2 = m.finish_transmission(tx.id, t1 + tx.airtime);
+        assert_eq!(*held, 7);
+        assert_eq!(*out2.delivered[0].1, 8);
+    }
+
+    /// Every reception lock resolves exactly once: delivered, corrupted,
+    /// bit-error loss, or aborted (forced send / sleep / transmitter
+    /// death). `frames_sent × listeners = delivered + corrupted +
+    /// bit_error + aborted` over any mixed workload.
+    #[test]
+    fn reception_accounting_conserves_every_lock() {
+        // A lossy clique so every resolution path occurs, including
+        // bit-error losses.
+        let n = 4usize;
+        let bits = ((crate::packet::FRAME_OVERHEAD_BYTES + 20) * 8) as f64;
+        let ber = 1.0 - 0.7f64.powf(1.0 / bits); // ≈30% frame loss
+        let mut links = LinkTable::new(n);
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    links.connect(NodeId::from_index(a), NodeId::from_index(b), ber);
+                }
+            }
+        }
+        let mut m: Medium<u32> = Medium::new(links, SimRng::new(23));
+
+        let mut locks = 0u64;
+        let (mut delivered, mut corrupted, mut missed) = (0u64, 0u64, 0u64);
+        let mut track = |m: &mut Medium<u32>, src: NodeId, tag: u32, t: SimTime| {
+            let new_locks = m
+                .links()
+                .neighbors(src)
+                .filter(|&(x, _)| m.radio_state(x) == RadioState::Listening)
+                .count() as u64;
+            let tx = m.start_transmission(src, frame(src.0, tag), t).unwrap();
+            (tx, new_locks)
+        };
+        let mut absorb = |out: &TxOutcome<u32>| {
+            (
+                out.delivered.len() as u64,
+                out.corrupted.len() as u64,
+                out.missed.len() as u64,
+            )
+        };
+
+        let mut t = SimTime::ZERO;
+        for round in 0..100u32 {
+            let a = NodeId((round % n as u32) as u16);
+            let b = NodeId(((round + 1) % n as u32) as u16);
+            match round % 5 {
+                0 => {
+                    // Clean solo transmission.
+                    let (tx, l) = track(&mut m, a, round, t);
+                    locks += l;
+                    let out = m.finish_transmission(tx.id, t + tx.airtime);
+                    let (d, c, mi) = absorb(&out);
+                    delivered += d;
+                    corrupted += c;
+                    missed += mi;
+                }
+                1 => {
+                    // Two overlapping transmissions: collisions.
+                    let (tx_a, la) = track(&mut m, a, round, t);
+                    locks += la;
+                    let (tx_b, lb) = track(&mut m, b, round, t);
+                    locks += lb;
+                    for tx in [tx_a, tx_b] {
+                        let out = m.finish_transmission(tx.id, t + tx.airtime);
+                        let (d, c, mi) = absorb(&out);
+                        delivered += d;
+                        corrupted += c;
+                        missed += mi;
+                    }
+                }
+                2 => {
+                    // A locked listener force-transmits over its reception.
+                    let (tx_a, la) = track(&mut m, a, round, t);
+                    locks += la;
+                    let (tx_b, lb) = track(&mut m, b, round, t);
+                    locks += lb;
+                    let out = m.finish_transmission(tx_a.id, t + tx_a.airtime);
+                    let (d, c, mi) = absorb(&out);
+                    delivered += d;
+                    corrupted += c;
+                    missed += mi;
+                    let out = m.finish_transmission(tx_b.id, t + tx_b.airtime);
+                    let (d, c, mi) = absorb(&out);
+                    delivered += d;
+                    corrupted += c;
+                    missed += mi;
+                }
+                3 => {
+                    // A listener powers down mid-reception.
+                    let (tx, l) = track(&mut m, a, round, t);
+                    locks += l;
+                    m.set_radio(b, false, t + SimDuration::from_millis(1));
+                    let out = m.finish_transmission(tx.id, t + tx.airtime);
+                    let (d, c, mi) = absorb(&out);
+                    delivered += d;
+                    corrupted += c;
+                    missed += mi;
+                    m.set_radio(b, true, t + tx.airtime);
+                }
+                _ => {
+                    // The transmitter dies mid-frame.
+                    let (tx, l) = track(&mut m, a, round, t);
+                    locks += l;
+                    m.abort_transmission(tx.id, t + SimDuration::from_millis(2));
+                }
+            }
+            t += SimDuration::from_millis(100);
+        }
+
+        let aborted: u64 = (0..n)
+            .map(|i| m.stats(NodeId::from_index(i)).rx_aborted)
+            .sum();
+        let received: u64 = (0..n)
+            .map(|i| m.stats(NodeId::from_index(i)).frames_received)
+            .sum();
+        let bit_errors: u64 = (0..n)
+            .map(|i| m.stats(NodeId::from_index(i)).bit_error_losses)
+            .sum();
+        assert_eq!(delivered, received, "outcome deliveries match stats");
+        assert_eq!(missed, bit_errors, "outcome misses match stats");
+        assert!(delivered > 0 && corrupted > 0 && missed > 0 && aborted > 0);
+        assert_eq!(
+            locks,
+            delivered + corrupted + missed + aborted,
+            "every lock resolves exactly once"
+        );
     }
 }
 
@@ -687,9 +968,14 @@ mod abort_tests {
         assert_eq!(m.radio_state(NodeId(1)), RadioState::Listening);
         assert_eq!(m.stats(NodeId(1)).frames_received, 0);
         assert_eq!(
-            m.stats(NodeId(1)).bit_error_losses,
+            m.stats(NodeId(1)).rx_aborted,
             1,
-            "truncated frame fails CRC"
+            "truncated frame fails CRC and counts as an aborted reception"
+        );
+        assert_eq!(
+            m.stats(NodeId(1)).bit_error_losses,
+            0,
+            "a truncated frame is not a bit-error loss"
         );
     }
 
