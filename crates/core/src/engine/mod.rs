@@ -33,5 +33,5 @@ pub mod transfer;
 
 pub use advertise::{AdvertiseScheduler, Offer};
 pub use sleep::{SleepController, StateClock};
-pub use timer::TimerMux;
+pub use timer::{TimerMux, MAX_EPOCH};
 pub use transfer::{missing_vector, store_packet_once, ForwardVector, ImageCursor};

@@ -73,6 +73,15 @@ impl StateClock {
         *bucket += span.as_micros();
         self.last_event_at = now;
     }
+
+    /// Restarts the span at `now` without charging it to any bucket.
+    ///
+    /// Used on crash-restart: the outage between the crash and the reboot
+    /// belongs to no protocol state, so the first post-reboot event must
+    /// not bill the dead span.
+    pub fn resync(&mut self, now: SimTime) {
+        self.last_event_at = now;
+    }
 }
 
 #[cfg(test)]
@@ -89,6 +98,17 @@ mod tests {
         clock.bill(SimTime::from_micros(300), &mut advertise);
         assert_eq!(advertise, 100 + 50);
         assert_eq!(sleep, 150);
+    }
+
+    #[test]
+    fn state_clock_resync_skips_the_dead_span() {
+        let mut clock = StateClock::new();
+        let mut bucket = 0u64;
+        clock.bill(SimTime::from_micros(100), &mut bucket);
+        // Node dead from 100us to 900us: nobody is billed for the outage.
+        clock.resync(SimTime::from_micros(900));
+        clock.bill(SimTime::from_micros(950), &mut bucket);
+        assert_eq!(bucket, 100 + 50);
     }
 
     #[test]

@@ -1,5 +1,13 @@
 //! Epoch-scoped timer tokens.
 
+/// Epoch bits available above the kind byte: `64 - 8 = 56`.
+const EPOCH_BITS: u32 = 56;
+
+/// Largest representable epoch. [`TimerMux::invalidate`] saturates here so
+/// a token can never alias an earlier epoch by wrapping or shifting bits
+/// out the top of the word.
+pub const MAX_EPOCH: u64 = (1 << EPOCH_BITS) - 1;
+
 /// Encodes timer tokens as `(epoch << 8) | kind` and filters stale ones.
 ///
 /// Timers set through [`mnp_net::Context::set_timer`] are not cancellable —
@@ -8,8 +16,14 @@
 /// sequence; tearing down a state calls [`TimerMux::invalidate`], after
 /// which every token minted before it decodes to `None`.
 ///
-/// The kind must fit the low byte (`< 256`); the remaining 56 bits carry
-/// the epoch.
+/// The kind must fit the low byte (`< 256`) — enforced in release builds,
+/// not just debug. The remaining 56 bits carry the epoch, which saturates
+/// at [`MAX_EPOCH`] instead of silently shifting set bits out of the
+/// token: at the saturation point staleness filtering degrades (tokens
+/// from the saturated epoch stay valid across further invalidations)
+/// rather than corrupting the kind. Reaching it would take 2^56
+/// invalidations — about 2 000 years of state changes at one per
+/// microsecond — so real runs never see the degraded mode.
 ///
 /// # Example
 ///
@@ -34,8 +48,14 @@ impl TimerMux {
     }
 
     /// Mints a token for `kind` in the current epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in release builds too) if `kind` does not fit the low byte:
+    /// a kind of 256 would silently decode as epoch+1's kind 0, turning a
+    /// stale timer into a live one.
     pub fn token(&self, kind: u64) -> u64 {
-        debug_assert!(kind < 0x100, "timer kind must fit the low byte");
+        assert!(kind < 0x100, "timer kind {kind} must fit the low byte");
         (self.epoch << 8) | kind
     }
 
@@ -46,8 +66,13 @@ impl TimerMux {
     }
 
     /// Starts a new epoch: all previously minted tokens become stale.
+    ///
+    /// Saturates at [`MAX_EPOCH`] (the 56 bits the token layout can carry)
+    /// instead of shifting the epoch out of the token.
     pub fn invalidate(&mut self) {
-        self.epoch += 1;
+        if self.epoch < MAX_EPOCH {
+            self.epoch += 1;
+        }
     }
 
     /// The current epoch (for diagnostics).
@@ -103,5 +128,31 @@ mod tests {
         let tb = b.token(5);
         a.invalidate();
         assert_eq!(b.decode(tb), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit the low byte")]
+    fn oversized_kind_panics_in_release_too() {
+        let mux = TimerMux::new();
+        let _ = mux.token(0x100);
+    }
+
+    #[test]
+    fn epoch_saturates_instead_of_overflowing_the_token() {
+        let mut mux = TimerMux {
+            epoch: MAX_EPOCH - 1,
+        };
+        mux.invalidate();
+        assert_eq!(mux.epoch(), MAX_EPOCH);
+        // At saturation the epoch no longer advances...
+        mux.invalidate();
+        assert_eq!(mux.epoch(), MAX_EPOCH);
+        // ...and tokens still round-trip their kind exactly: nothing is
+        // shifted out of the 64-bit word.
+        for kind in [0, 1, 0x7f, 0xff] {
+            let t = mux.token(kind);
+            assert_eq!(t >> 8, MAX_EPOCH);
+            assert_eq!(mux.decode(t), Some(kind));
+        }
     }
 }

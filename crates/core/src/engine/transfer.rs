@@ -25,14 +25,21 @@ pub fn missing_vector(store: &PacketStore, seg: u16) -> PacketBitmap {
 /// "When a node receives a packet for the first time, it stores that
 /// packet in EEPROM"; re-writing a held packet would double-bill flash
 /// energy and wear.
+///
+/// A transient [`StorageError::WriteFault`] (injected by the fault model)
+/// also returns `false`: the packet stays missing, so the protocol's
+/// normal loss recovery re-requests and retries it later.
+///
+/// [`StorageError::WriteFault`]: mnp_storage::StorageError::WriteFault
 pub fn store_packet_once(store: &mut PacketStore, seg: u16, pkt: u16, payload: &[u8]) -> bool {
     if store.has_packet(seg, pkt) {
         return false;
     }
-    store
-        .write_packet(seg, pkt, payload)
-        .expect("has_packet checked");
-    true
+    match store.write_packet(seg, pkt, payload) {
+        Ok(()) => true,
+        Err(mnp_storage::StorageError::WriteFault { .. }) => false,
+        Err(e) => panic!("has_packet checked, payload from a valid image: {e}"),
+    }
 }
 
 /// The sender's "ForwardVector": the union of the requesters' missing
@@ -255,6 +262,20 @@ mod tests {
         let lines_after_first = store.line_writes;
         assert!(!store_packet_once(&mut store, 0, 3, payload));
         assert_eq!(store.line_writes, lines_after_first, "no double billing");
+    }
+
+    #[test]
+    fn store_packet_once_survives_transient_write_faults() {
+        let image = ProgramImage::synthetic(ProgramId(1), ImageLayout::paper_default(1));
+        let mut store = PacketStore::new(ProgramId(1), image.layout());
+        store.inject_write_faults(1);
+        let payload = image.packet_payload(0, 3);
+        assert!(
+            !store_packet_once(&mut store, 0, 3, payload),
+            "faulted write reports not-stored"
+        );
+        assert!(!store.has_packet(0, 3), "packet stays missing for retry");
+        assert!(store_packet_once(&mut store, 0, 3, payload), "retry lands");
     }
 
     #[test]

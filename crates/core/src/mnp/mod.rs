@@ -377,6 +377,46 @@ impl Protocol for Mnp {
         self.wake(ctx);
     }
 
+    fn on_restart(&mut self, ctx: &mut Context<'_, MnpMsg>) {
+        // A crash wipes RAM but not flash: rebuild the volatile state from
+        // the persistent store and re-enter the protocol from idle.
+        // Pre-crash timer events may still be queued in the kernel; the
+        // epoch bump makes them decode as stale when they fire.
+        self.timers.invalidate();
+        self.state = MnpState::Idle;
+        self.completed = self.store.is_complete();
+        self.heard_any_adv = false;
+        self.adv = AdvertiseScheduler::new();
+        self.fwd = ForwardVector::new();
+        self.requested_from.clear();
+        self.parent = None;
+        self.dl_seg = 0;
+        self.missing = PacketBitmap::empty();
+        self.awaiting_query = false;
+        self.dl_deadline = SimTime::ZERO;
+        self.update_deadline = SimTime::ZERO;
+        self.update_retries = 0;
+        self.fwd_seg = 0;
+        self.query_deadline = SimTime::ZERO;
+        self.repair_ticking = false;
+        self.sleeper = SleepController::new(self.cfg.sleep_enabled);
+        // The outage bills to no state: restart the state clock at now.
+        self.clock.resync(ctx.now);
+        // Segments verified on flash were reported before the crash;
+        // re-reporting them would violate the observers' in-order segment
+        // accounting, so only the protocol side re-arms here. A node that
+        // rebooted holding the complete image (the base always does)
+        // resumes serving it.
+        if self.completed {
+            self.adv.reset_quiet_gap(self.cfg.quiet_gap_initial);
+            self.enter_advertise(ctx);
+        }
+    }
+
+    fn inject_storage_fault(&mut self, failures: u32) {
+        self.store.inject_write_faults(failures);
+    }
+
     fn eeprom_ops(&self) -> EepromOps {
         EepromOps {
             line_reads: self.store.line_reads,

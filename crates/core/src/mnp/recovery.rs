@@ -49,8 +49,20 @@ impl Mnp {
             self.finish_segment(ctx);
             return;
         }
+        // The parent slot can be empty by the time a retry fires (e.g. a
+        // future transition that clears it while a T_UPDATE timer is
+        // outstanding). With nobody to repair from, fall back through the
+        // fail state to idle and re-listen for advertisements: stored
+        // packets persist, so the re-requested download only fetches what
+        // is still missing. This used to be an
+        // `expect("update state has a parent")` panic.
+        let Some(dest) = self.parent else {
+            self.stats.fails_update += 1;
+            self.fail(ctx);
+            return;
+        };
         ctx.send(MnpMsg::Repair {
-            dest: self.parent.expect("update state has a parent"),
+            dest,
             requester: ctx.id,
             seg: self.dl_seg,
             missing: self.missing,

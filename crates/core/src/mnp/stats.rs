@@ -19,4 +19,7 @@ pub struct MnpStats {
     pub sleeps: u64,
     /// Advertisements sent.
     pub advertisements_sent: u64,
+    /// Transient EEPROM write faults absorbed during download/update (the
+    /// packet stayed missing and was re-requested through loss recovery).
+    pub write_faults: u64,
 }

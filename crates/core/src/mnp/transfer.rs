@@ -95,12 +95,15 @@ impl Mnp {
                 // any node" — only the segment must match.
                 #[allow(clippy::collapsible_match)]
                 if self.missing.get(d.pkt) {
-                    assert!(
-                        engine::store_packet_once(&mut self.store, d.seg, d.pkt, &d.payload),
-                        "missing bit set implies not yet written"
-                    );
-                    ctx.note_eeprom_write(d.seg, d.pkt);
-                    self.missing.clear(d.pkt);
+                    if engine::store_packet_once(&mut self.store, d.seg, d.pkt, &d.payload) {
+                        ctx.note_eeprom_write(d.seg, d.pkt);
+                        self.missing.clear(d.pkt);
+                    } else {
+                        // A transient EEPROM write fault: the missing bit
+                        // stays set, so the normal query/update recovery
+                        // re-requests the packet.
+                        self.stats.write_faults += 1;
+                    }
                 }
                 self.arm_dl_timeout(ctx);
             }
@@ -111,17 +114,20 @@ impl Mnp {
                 // repairs — are ignored silently.
                 #[allow(clippy::collapsible_match)]
                 if self.missing.get(d.pkt) {
-                    assert!(
-                        engine::store_packet_once(&mut self.store, d.seg, d.pkt, &d.payload),
-                        "missing bit set implies not yet written"
-                    );
-                    ctx.note_eeprom_write(d.seg, d.pkt);
-                    self.missing.clear(d.pkt);
-                    // Progress: the retry budget resets.
-                    self.update_retries = 0;
-                    if self.missing.is_empty() {
-                        self.finish_segment(ctx);
+                    if engine::store_packet_once(&mut self.store, d.seg, d.pkt, &d.payload) {
+                        ctx.note_eeprom_write(d.seg, d.pkt);
+                        self.missing.clear(d.pkt);
+                        // Progress: the retry budget resets.
+                        self.update_retries = 0;
+                        if self.missing.is_empty() {
+                            self.finish_segment(ctx);
+                        } else {
+                            self.arm_update_timeout(ctx);
+                        }
                     } else {
+                        // Write fault: keep the bit set and the deadline
+                        // armed; the next repair round retries the packet.
+                        self.stats.write_faults += 1;
                         self.arm_update_timeout(ctx);
                     }
                 }

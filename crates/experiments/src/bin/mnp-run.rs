@@ -9,6 +9,8 @@
 //!                [--check-invariants]
 //!        mnp-run scale [--seed N] [--segments N] [--out PATH]
 //!                      [--grids RxC,RxC,...]
+//!        mnp-run chaos [--seed N] [--grid N] [--crashes A,B,...]
+//!                      [--flaps A,B,...]
 //! ```
 //!
 //! Prints the run summary (completion, active radio time, messages,
@@ -18,6 +20,12 @@
 //! a per-node metrics JSON document, `--timeline` a Chrome-trace JSON
 //! loadable in Perfetto, and `--check-invariants` an online protocol
 //! safety monitor that fails fast on any violation.
+//!
+//! `mnp-run chaos` runs the transient-fault sweep: deterministic
+//! [`FaultPlan`](mnp_net::FaultPlan)s injecting crash–restarts and link
+//! flaps on an N×N grid, reporting coverage and the completion-time
+//! penalty per fault count. It exits non-zero if any node failed to
+//! complete (transient faults must not cost coverage).
 //!
 //! `mnp-run scale` instead runs the large-grid scale benchmark
 //! (wall-time, events/sec, heap allocations; see `mnp_experiments::scale`)
@@ -31,7 +39,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use mnp_experiments::{scale, GridExperiment, RunOutcome};
+use mnp_experiments::{resilience, scale, GridExperiment, RunOutcome};
 use mnp_net::Observer;
 use mnp_obs::{InvariantMonitor, JsonlLogger, MetricsRegistry, Shared, TimelineExporter};
 use mnp_radio::{NodeId, PowerLevel};
@@ -154,7 +162,7 @@ impl Args {
     }
 }
 
-const USAGE: &str = "Usage: mnp-run [--rows N] [--cols N] [--spacing FT] [--segments N]\n               [--power LEVEL] [--seed N] [--seeds A,B,...]\n               [--protocol mnp|deluge]\n               [--capture] [--heatmap] [--parents]\n               [--events PATH] [--metrics PATH] [--timeline PATH]\n               [--check-invariants]\n       mnp-run scale [--seed N] [--segments N] [--out PATH]\n                     [--grids RxC,RxC,...]";
+const USAGE: &str = "Usage: mnp-run [--rows N] [--cols N] [--spacing FT] [--segments N]\n               [--power LEVEL] [--seed N] [--seeds A,B,...]\n               [--protocol mnp|deluge]\n               [--capture] [--heatmap] [--parents]\n               [--events PATH] [--metrics PATH] [--timeline PATH]\n               [--check-invariants]\n       mnp-run scale [--seed N] [--segments N] [--out PATH]\n                     [--grids RxC,RxC,...]\n       mnp-run chaos [--seed N] [--grid N] [--crashes A,B,...]\n                     [--flaps A,B,...]";
 
 fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String>
 where
@@ -166,6 +174,15 @@ where
 fn main() -> ExitCode {
     if std::env::args().nth(1).as_deref() == Some("scale") {
         return match run_scale(std::env::args().skip(2)) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if std::env::args().nth(1).as_deref() == Some("chaos") {
+        return match run_chaos(std::env::args().skip(2)) {
             Ok(code) => code,
             Err(msg) => {
                 eprintln!("{msg}");
@@ -321,6 +338,45 @@ fn run_scale(mut it: impl Iterator<Item = String>) -> Result<ExitCode, String> {
             ExitCode::FAILURE
         },
     )
+}
+
+/// `mnp-run chaos`: the transient-fault (crash–restart + link-flap) sweep.
+fn run_chaos(mut it: impl Iterator<Item = String>) -> Result<ExitCode, String> {
+    let mut seed = 42u64;
+    let mut grid = 8usize;
+    let mut crashes: Vec<usize> = vec![0, 2, 4, 8];
+    let mut flaps: Vec<usize> = vec![0, 8, 16, 32];
+    // An empty value ("--flaps ''") disables that sweep entirely.
+    let parse_counts = |s: String| {
+        s.split(',')
+            .filter(|part| !part.is_empty())
+            .map(parse)
+            .collect::<Result<Vec<usize>, String>>()
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--seed" => seed = parse(&value("--seed")?)?,
+            "--grid" => grid = parse(&value("--grid")?)?,
+            "--crashes" => crashes = parse_counts(value("--crashes")?)?,
+            "--flaps" => flaps = parse_counts(value("--flaps")?)?,
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    let chaos = resilience::run_chaos_with(grid, &crashes, &flaps, seed);
+    print!("{chaos}");
+    let full_coverage = chaos
+        .crash_rows
+        .iter()
+        .chain(&chaos.flap_rows)
+        .all(|r| (r.coverage - 1.0).abs() < 1e-9);
+    Ok(if full_coverage {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("transient faults cost coverage: some node never completed");
+        ExitCode::FAILURE
+    })
 }
 
 fn run_seeds(args: &Args, scenario: &GridExperiment, seeds: &[u64]) -> ExitCode {

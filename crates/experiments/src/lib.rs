@@ -20,7 +20,7 @@
 //! | [`diagonal`] | §5 — diagonal-vs-edge propagation dynamic |
 //! | [`battery`] | §6 — battery-aware sender selection extension |
 //! | [`subsets`] | §6 — subset (targeted) dissemination extension |
-//! | [`resilience`] | §3.3 — fail-stop sender-death resilience |
+//! | [`resilience`] | §3.3 — fail-stop resilience + chaos (crash–restart, link-flap) sweeps |
 //! | [`capture`] | X4 — capture-effect sensitivity of the radio model |
 //! | [`ablation`] | DESIGN.md A1–A4 — design-choice ablations |
 //! | [`scale`] | simulator scale benchmark (`mnp-run scale`, BENCH_scale.json) |

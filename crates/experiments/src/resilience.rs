@@ -1,17 +1,24 @@
-//! X3: fail-stop resilience.
+//! X3: fail-stop resilience, plus the chaos (crash–restart and link-flap)
+//! sweeps.
 //!
 //! The paper's loss-detection design anticipates dying senders ("the
 //! reason can be the sender dies as it is sending packets"); this
 //! experiment quantifies it: kill a growing fraction of nodes at random
 //! instants during reprogramming and measure survivor coverage and the
 //! completion-time penalty.
+//!
+//! The chaos sweeps ([`run_chaos`]) use the deterministic
+//! [`FaultPlan`] instead of permanent kills: nodes crash and reboot with
+//! their EEPROM intact, and links flap to total loss and recover. Both are
+//! transient, so full coverage is still expected — the interesting output
+//! is the completion-time penalty.
 
 use std::fmt;
 
 use mnp::{Mnp, MnpConfig};
-use mnp_net::{Network, NetworkBuilder};
-use mnp_radio::NodeId;
-use mnp_sim::{SimRng, SimTime};
+use mnp_net::{FaultPlan, Network, NetworkBuilder};
+use mnp_radio::{LinkTable, NodeId};
+use mnp_sim::{SimDuration, SimRng, SimTime};
 use mnp_storage::{ImageLayout, ProgramId, ProgramImage};
 use mnp_topology::{GridSpec, TopologyBuilder};
 
@@ -103,6 +110,146 @@ pub fn run_with(n: usize, fractions: &[f64], seed: u64) -> Resilience {
     }
 }
 
+/// One chaos row: how many transient faults were injected and what
+/// happened.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosRow {
+    /// Faults injected (crash–restarts or link flaps).
+    pub injected: usize,
+    /// Fraction of all nodes holding the complete image at the end —
+    /// restarted nodes included, since they reboot and resume.
+    pub coverage: f64,
+    /// Completion time of the slowest completing node (s).
+    pub completion_s: f64,
+}
+
+/// The chaos sweep: transient crash–restart and link-flap resilience.
+#[derive(Clone, Debug)]
+pub struct Chaos {
+    /// Grid label.
+    pub label: String,
+    /// One row per crash–restart count.
+    pub crash_rows: Vec<ChaosRow>,
+    /// One row per link-flap count.
+    pub flap_rows: Vec<ChaosRow>,
+}
+
+/// Runs the default chaos sweep: 8×8 grid, 0–8 crash–restarts and 0–32
+/// link flaps.
+pub fn run_chaos(seed: u64) -> Chaos {
+    run_chaos_with(8, &[0, 2, 4, 8], &[0, 8, 16, 32], seed)
+}
+
+/// Runs the chaos sweep on an `n×n` grid: one run per crash–restart count
+/// in `crashes`, one per link-flap count in `flaps`. Fault schedules come
+/// from a [`FaultPlan`] seeded from `seed`, so the whole sweep is
+/// reproducible.
+pub fn run_chaos_with(n: usize, crashes: &[usize], flaps: &[usize], seed: u64) -> Chaos {
+    let grid = GridSpec::new(n, n, 10.0);
+    let image = ProgramImage::synthetic(ProgramId(1), ImageLayout::paper_default(1));
+    let cfg = MnpConfig::for_image(&image);
+    // Faults land while dissemination is in full swing (a single-segment
+    // grid run completes in roughly a minute).
+    let window = (SimTime::from_secs(2), SimTime::from_secs(40));
+    let non_base: Vec<NodeId> = grid.nodes().filter(|&id| id != grid.corner()).collect();
+
+    let run_one = |plan_of: &dyn Fn(&LinkTable) -> FaultPlan, injected: usize| {
+        let mut topo_rng = SimRng::new(seed).derive(0xdeadbeef);
+        let topo = TopologyBuilder::new(grid.placement()).build(&mut topo_rng);
+        let plan = plan_of(&topo.links);
+        let mut net: Network<Mnp> =
+            NetworkBuilder::new(topo.links, seed)
+                .faults(plan)
+                .build(|id, _| {
+                    if id == grid.corner() {
+                        Mnp::base_station(cfg.clone(), &image)
+                    } else {
+                        Mnp::node(cfg.clone())
+                    }
+                });
+        let _ = net.run_until_all_complete(SimTime::from_secs(2 * 3_600));
+        let completed = grid
+            .nodes()
+            .filter(|&id| net.protocol(id).is_complete())
+            .count();
+        let completion = grid
+            .nodes()
+            .filter_map(|id| net.trace().node(id).completion)
+            .max()
+            .unwrap_or_else(|| net.now());
+        ChaosRow {
+            injected,
+            coverage: completed as f64 / (n * n) as f64,
+            completion_s: completion.as_secs_f64(),
+        }
+    };
+
+    let crash_rows = crashes
+        .iter()
+        .map(|&count| {
+            run_one(
+                &|_links| {
+                    FaultPlan::seeded(seed).random_crash_restarts(
+                        count,
+                        &non_base,
+                        window,
+                        (SimDuration::from_secs(5), SimDuration::from_secs(30)),
+                    )
+                },
+                count,
+            )
+        })
+        .collect();
+    let flap_rows = flaps
+        .iter()
+        .map(|&count| {
+            run_one(
+                &|links| {
+                    FaultPlan::seeded(seed ^ 1).random_link_flaps(
+                        count,
+                        links,
+                        window,
+                        (SimDuration::from_secs(2), SimDuration::from_secs(15)),
+                    )
+                },
+                count,
+            )
+        })
+        .collect();
+    Chaos {
+        label: grid.to_string(),
+        crash_rows,
+        flap_rows,
+    }
+}
+
+impl fmt::Display for Chaos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== X3b: chaos (transient faults), {} ===", self.label)?;
+        writeln!(f, "crash-restarts  coverage  completion(s)")?;
+        for r in &self.crash_rows {
+            writeln!(
+                f,
+                "{:>14} {:>8.1}% {:>14.0}",
+                r.injected,
+                r.coverage * 100.0,
+                r.completion_s
+            )?;
+        }
+        writeln!(f, "link-flaps      coverage  completion(s)")?;
+        for r in &self.flap_rows {
+            writeln!(
+                f,
+                "{:>14} {:>8.1}% {:>14.0}",
+                r.injected,
+                r.coverage * 100.0,
+                r.completion_s
+            )?;
+        }
+        Ok(())
+    }
+}
+
 impl fmt::Display for Resilience {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "=== X3: fail-stop resilience, {} ===", self.label)?;
@@ -138,6 +285,27 @@ mod tests {
         assert!(
             r.rows[0].survivor_coverage > 0.9,
             "a dense grid should route around 10% failures: {r}"
+        );
+    }
+
+    #[test]
+    fn chaos_crash_restarts_preserve_full_coverage() {
+        // Crash–restarts are transient: the rebooted nodes resume from
+        // their EEPROM and everyone still completes.
+        let c = run_chaos_with(4, &[2], &[], 503);
+        assert_eq!(c.flap_rows.len(), 0);
+        assert!(
+            (c.crash_rows[0].coverage - 1.0).abs() < 1e-9,
+            "restarted nodes must still complete: {c}"
+        );
+    }
+
+    #[test]
+    fn chaos_link_flaps_preserve_full_coverage() {
+        let c = run_chaos_with(4, &[], &[4], 504);
+        assert!(
+            (c.flap_rows[0].coverage - 1.0).abs() < 1e-9,
+            "flapped links recover, so everyone completes: {c}"
         );
     }
 }

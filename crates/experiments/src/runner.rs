@@ -4,7 +4,7 @@ use std::fmt;
 
 use mnp::{Mnp, MnpConfig};
 use mnp_baselines::{Deluge, DelugeConfig};
-use mnp_net::{Network, NetworkBuilder, Observer, Protocol};
+use mnp_net::{FaultPlan, Network, NetworkBuilder, Observer, Protocol};
 use mnp_obs::InvariantMonitor;
 use mnp_radio::{NodeId, PowerLevel};
 use mnp_sim::{SimRng, SimTime};
@@ -37,6 +37,7 @@ pub struct GridExperiment {
     base: NodeId,
     capture: bool,
     check_invariants: bool,
+    faults: Option<FaultPlan>,
 }
 
 impl GridExperiment {
@@ -55,6 +56,7 @@ impl GridExperiment {
             base: NodeId(0),
             capture: false,
             check_invariants: false,
+            faults: None,
         }
     }
 
@@ -69,6 +71,15 @@ impl GridExperiment {
     /// transmitter, ReqCtr echo).
     pub fn check_invariants(mut self, check: bool) -> Self {
         self.check_invariants = check;
+        self
+    }
+
+    /// Injects a deterministic [`FaultPlan`] into every run of this
+    /// scenario (crash–restarts, link flaps, EEPROM write faults). The
+    /// plan is part of the scenario: the same seed and plan replay the
+    /// same faulted schedule byte for byte.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -251,6 +262,9 @@ impl GridExperiment {
              coverage is impossible (reseed)"
         );
         let mut builder = NetworkBuilder::new(topo.links, self.seed).capture(self.capture);
+        if let Some(plan) = &self.faults {
+            builder = builder.faults(plan.clone());
+        }
         if self.check_invariants {
             builder = builder.observer(InvariantMonitor::new());
         }

@@ -62,10 +62,12 @@
 #![warn(missing_docs)]
 
 mod context;
+mod fault;
 mod network;
 mod protocol;
 
 pub use context::Context;
+pub use fault::{FaultPlan, PlannedFault};
 pub use network::{Network, NetworkBuilder};
 pub use protocol::{EepromOps, Protocol, WireMsg};
 

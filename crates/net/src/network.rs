@@ -7,6 +7,7 @@ use mnp_sim::{EventQueue, SimDuration, SimRng, SimTime};
 use mnp_trace::{MsgClass, RunTrace};
 
 use crate::context::{Context, Op};
+use crate::fault::{FaultPlan, PlannedFault};
 use crate::protocol::{Protocol, WireMsg};
 
 #[derive(Clone, Copy, Debug)]
@@ -28,6 +29,22 @@ enum Event {
     /// instant. The paper's loss handling explicitly covers "the sender
     /// dies as it is sending packets".
     Kill(NodeId),
+    /// Reboot of a crashed node: fresh RAM state, persistent EEPROM.
+    Restart(NodeId),
+    /// Fault-model link mutation: replace the BER of `from -> to`.
+    /// `restore` only selects which observer event is emitted.
+    SetLink {
+        from: NodeId,
+        to: NodeId,
+        ber: f64,
+        restore: bool,
+    },
+    /// Fault-model storage fault: arm `failures` transient EEPROM write
+    /// failures on `node`.
+    InjectStorage {
+        node: NodeId,
+        failures: u32,
+    },
 }
 
 fn event_node(ev: &Event) -> Option<NodeId> {
@@ -37,7 +54,12 @@ fn event_node(ev: &Event) -> Option<NodeId> {
         | Event::TxEnd { node: n, .. }
         | Event::Timer(n, _)
         | Event::Wake(n, _) => Some(*n),
-        Event::Kill(_) => None,
+        // Fault events bypass the dead-node filter: Kill/Restart must run
+        // on (or for) dead nodes, and link/storage faults guard themselves.
+        Event::Kill(_)
+        | Event::Restart(_)
+        | Event::SetLink { .. }
+        | Event::InjectStorage { .. } => None,
     }
 }
 
@@ -53,6 +75,7 @@ pub struct NetworkBuilder {
     csma: CsmaConfig,
     capture: bool,
     observers: Vec<Box<dyn Observer>>,
+    faults: Option<FaultPlan>,
 }
 
 impl NetworkBuilder {
@@ -64,7 +87,21 @@ impl NetworkBuilder {
             csma: CsmaConfig::default(),
             capture: false,
             observers: Vec::new(),
+            faults: None,
         }
+    }
+
+    /// Attaches a [`FaultPlan`]: every planned fault is expanded into
+    /// ordinary queue events at build time, so the run — faults included —
+    /// replays byte-for-byte under the same seed and plan.
+    ///
+    /// # Panics
+    ///
+    /// [`NetworkBuilder::build`] panics if the plan names a node outside
+    /// the link graph or flaps an edge that does not exist.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Attaches an observer; every [`mnp_obs::ObsEvent`] the run emits is
@@ -107,6 +144,57 @@ impl NetworkBuilder {
         for i in 0..n {
             queue.push(SimTime::ZERO, Event::Start(NodeId::from_index(i)));
         }
+        if let Some(plan) = &self.faults {
+            for fault in plan.faults() {
+                match *fault {
+                    PlannedFault::Kill { node, at } => {
+                        assert!(node.index() < n, "fault plan names unknown node {node}");
+                        queue.push(at, Event::Kill(node));
+                    }
+                    PlannedFault::CrashRestart { node, at, down_for } => {
+                        assert!(node.index() < n, "fault plan names unknown node {node}");
+                        queue.push(at, Event::Kill(node));
+                        queue.push(at + down_for, Event::Restart(node));
+                    }
+                    PlannedFault::LinkFlap {
+                        from,
+                        to,
+                        at,
+                        duration,
+                        ber,
+                    } => {
+                        // Resolve the restore BER now, against the pristine
+                        // graph: overlapping flaps of one edge restore to
+                        // the configured rate, not to each other's faults.
+                        let original = self.links.ber(from, to).unwrap_or_else(|| {
+                            panic!("fault plan flaps missing edge {from}->{to}")
+                        });
+                        queue.push(
+                            at,
+                            Event::SetLink {
+                                from,
+                                to,
+                                ber,
+                                restore: false,
+                            },
+                        );
+                        queue.push(
+                            at + duration,
+                            Event::SetLink {
+                                from,
+                                to,
+                                ber: original,
+                                restore: true,
+                            },
+                        );
+                    }
+                    PlannedFault::StorageFaults { node, at, failures } => {
+                        assert!(node.index() < n, "fault plan names unknown node {node}");
+                        queue.push(at, Event::InjectStorage { node, failures });
+                    }
+                }
+            }
+        }
         let mut medium = Medium::new(self.links, medium_rng);
         medium.set_capture(self.capture);
         let mut net = Network {
@@ -115,6 +203,7 @@ impl NetworkBuilder {
             medium,
             protocols,
             macs: (0..n).map(|_| Csma::new(self.csma)).collect(),
+            csma: self.csma,
             awake: vec![true; n],
             mac_epoch: vec![0; n],
             sleep_epoch: vec![0; n],
@@ -154,6 +243,9 @@ pub struct Network<P: Protocol> {
     medium: Medium<P::Msg>,
     protocols: Vec<P>,
     macs: Vec<Csma<P::Msg>>,
+    /// MAC configuration, kept so a crash-restarted node gets a factory-
+    /// fresh MAC (reboot resets RAM, not configuration).
+    csma: CsmaConfig,
     awake: Vec<bool>,
     mac_epoch: Vec<u64>,
     sleep_epoch: Vec<u64>,
@@ -230,6 +322,24 @@ impl<P: Protocol> Network<P> {
     pub fn schedule_failure(&mut self, node: NodeId, at: SimTime) {
         assert!(at >= self.now, "cannot schedule failure in the past");
         self.queue.push(at, Event::Kill(node));
+    }
+
+    /// Schedules a reboot of `node` at time `at`. A no-op unless the node
+    /// is dead when the instant arrives; pair it with
+    /// [`Network::schedule_failure`] (or use
+    /// [`FaultPlan::crash_restart`](crate::FaultPlan::crash_restart), which
+    /// schedules both). The rebooted node keeps its persistent state (the
+    /// protocol decides what survives in
+    /// [`Protocol::on_restart`](crate::Protocol::on_restart) — for MNP the
+    /// EEPROM [`PacketStore`](mnp_storage::PacketStore)) but loses all RAM
+    /// state: MAC, queued frames, pending timers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_restart(&mut self, node: NodeId, at: SimTime) {
+        assert!(at >= self.now, "cannot schedule restart in the past");
+        self.queue.push(at, Event::Restart(node));
     }
 
     /// Whether `node` has fail-stopped.
@@ -325,6 +435,29 @@ impl<P: Protocol> Network<P> {
         }
         match ev {
             Event::Kill(node) => self.kill(node),
+            Event::Restart(node) => self.restart(node),
+            Event::SetLink {
+                from,
+                to,
+                ber,
+                restore,
+            } => {
+                self.medium.set_link_ber(from, to, ber);
+                let ber_ppb = (ber * 1e9).round() as u64;
+                let kind = if restore {
+                    EventKind::LinkRestored { to, ber_ppb }
+                } else {
+                    EventKind::LinkFault { to, ber_ppb }
+                };
+                self.emit_obs(from, kind);
+            }
+            Event::InjectStorage { node, failures } => {
+                // Dead hardware cannot fail a write it will never attempt.
+                if !self.dead[node.index()] {
+                    self.protocols[node.index()].inject_storage_fault(failures);
+                    self.emit_obs(node, EventKind::StorageFault { failures });
+                }
+            }
             Event::Start(node) => {
                 self.callback(node, |p, ctx| p.on_start(ctx));
             }
@@ -372,6 +505,28 @@ impl<P: Protocol> Network<P> {
         self.awake[i] = false;
         self.dead[i] = true;
         self.emit_obs(node, EventKind::NodeFailed);
+    }
+
+    /// Reboots a dead node: everything RAM-resident is rebuilt from
+    /// scratch (fresh MAC, no queued frames, every pre-crash timer and
+    /// wake event stale), the radio comes back up, and the protocol's
+    /// [`Protocol::on_restart`](crate::Protocol::on_restart) hook decides
+    /// what persistent state survives. A no-op on a live node.
+    fn restart(&mut self, node: NodeId) {
+        let i = node.index();
+        if !self.dead[i] {
+            return;
+        }
+        self.dead[i] = false;
+        // Stale any MacAttempt/Wake events queued before the crash.
+        self.mac_epoch[i] += 1;
+        self.sleep_epoch[i] += 1;
+        self.pending_sleep[i] = None;
+        self.macs[i] = Csma::new(self.csma);
+        self.awake[i] = true;
+        self.medium.set_radio(node, true, self.now);
+        self.emit_obs(node, EventKind::NodeRestarted);
+        self.callback(node, |p, ctx| p.on_restart(ctx));
     }
 
     fn mac_attempt(&mut self, node: NodeId, epoch: u64) {
@@ -879,6 +1034,105 @@ mod failure_tests {
             NetworkBuilder::new(pair(), 8).build(|_, _| Chatty { heard: 0 });
         net.run_until(|_| false, SimTime::from_secs(2));
         net.schedule_failure(NodeId(0), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn crash_restarted_node_resumes_beaconing() {
+        let plan = FaultPlan::seeded(1).crash_restart(
+            NodeId(1),
+            SimTime::from_secs(2),
+            SimDuration::from_secs(4),
+        );
+        let mut net: Network<Chatty> = NetworkBuilder::new(pair(), 5)
+            .faults(plan)
+            .build(|_, _| Chatty { heard: 0 });
+        net.run_until(|_| false, SimTime::from_secs(10));
+        assert!(!net.is_dead(NodeId(1)), "rebooted node is alive again");
+        // ~2 s of beacons before the crash plus ~4 s after the reboot at
+        // 20 per second, against ~10 s for the never-faulted node 0.
+        let sent_by_faulted = net.trace().node(NodeId(1)).sent;
+        assert!(
+            (80..160).contains(&sent_by_faulted),
+            "got {sent_by_faulted}"
+        );
+        let sent_by_live = net.trace().node(NodeId(0)).sent;
+        assert!(sent_by_live > 150, "got {sent_by_live}");
+    }
+
+    #[test]
+    fn restart_of_a_live_node_is_a_noop() {
+        let mut net: Network<Chatty> =
+            NetworkBuilder::new(pair(), 6).build(|_, _| Chatty { heard: 0 });
+        net.schedule_restart(NodeId(1), SimTime::from_secs(1));
+        net.run_until(|_| false, SimTime::from_secs(3));
+        assert!(!net.is_dead(NodeId(1)));
+        let sent = net.trace().node(NodeId(1)).sent;
+        assert!(sent > 40, "beaconing uninterrupted, got {sent}");
+    }
+
+    #[test]
+    fn active_radio_time_is_frozen_while_dead_and_resumes_after_restart() {
+        let plan = FaultPlan::seeded(2).crash_restart(
+            NodeId(1),
+            SimTime::from_secs(2),
+            SimDuration::from_secs(6),
+        );
+        let mut net: Network<Chatty> = NetworkBuilder::new(pair(), 7)
+            .faults(plan)
+            .build(|_, _| Chatty { heard: 0 });
+        // Sample active radio time around the outage: it must be monotone
+        // over the whole run and flat while the node is down.
+        net.run_until(|_| false, SimTime::from_secs(4));
+        let during_outage_a = net.medium().active_radio_time(NodeId(1), net.now());
+        assert!(net.is_dead(NodeId(1)));
+        net.run_until(|_| false, SimTime::from_secs(6));
+        let during_outage_b = net.medium().active_radio_time(NodeId(1), net.now());
+        assert_eq!(
+            during_outage_a, during_outage_b,
+            "no radio time may accrue while dead"
+        );
+        assert!(during_outage_a <= SimDuration::from_secs(2));
+        net.run_until(|_| false, SimTime::from_secs(10));
+        let at_end = net.medium().active_radio_time(NodeId(1), net.now());
+        assert!(at_end > during_outage_b, "meter resumes after reboot");
+        // On for [0, 2) and [8, 10): about 4 s, never the full 10.
+        assert!(at_end <= SimDuration::from_secs(4) + SimDuration::from_millis(10));
+        assert!(at_end >= SimDuration::from_millis(3_900));
+        // `finalize_meters` folds exactly this frozen reading in.
+        let now = net.now();
+        net.finalize_meters(now);
+        assert_eq!(net.meter(NodeId(1)).active_radio, at_end);
+    }
+
+    #[test]
+    fn link_flap_suppresses_delivery_then_recovers() {
+        let run = |flap: bool| {
+            let mut builder = NetworkBuilder::new(pair(), 8);
+            if flap {
+                builder = builder.faults(FaultPlan::seeded(3).link_flap(
+                    NodeId(0),
+                    NodeId(1),
+                    SimTime::from_secs(2),
+                    SimDuration::from_secs(4),
+                    1.0,
+                ));
+            }
+            let mut net: Network<Chatty> = builder.build(|_, _| Chatty { heard: 0 });
+            net.run_until(|_| false, SimTime::from_secs(10));
+            (
+                net.trace().node(NodeId(1)).received,
+                net.medium().links().ber(NodeId(0), NodeId(1)).unwrap(),
+            )
+        };
+        let (baseline, _) = run(false);
+        let (flapped, ber_after) = run(true);
+        // ~4 s of a ~10 s run was blacked out in one direction.
+        assert!(
+            flapped < baseline * 3 / 4,
+            "flap must suppress delivery: {flapped} vs baseline {baseline}"
+        );
+        assert!(flapped > 0, "link recovered after the flap");
+        assert_eq!(ber_after, 0.0, "original BER restored");
     }
 
     impl Protocol for Chatty2 {

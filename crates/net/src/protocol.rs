@@ -121,6 +121,29 @@ pub trait Protocol: Sized {
         let _ = ctx;
     }
 
+    /// Called when the node reboots after a crash (fault model). The
+    /// implementation must discard everything a real mote keeps in RAM —
+    /// state machine, timers, neighbor caches — and may keep only what
+    /// lives in persistent storage (for MNP, the EEPROM `PacketStore`).
+    /// Timer events armed before the crash can still fire afterwards;
+    /// protocols must filter them as stale (epoch them through
+    /// `mnp::engine::TimerMux` and invalidate here).
+    ///
+    /// The default forgets nothing and simply runs
+    /// [`on_start`](Protocol::on_start) again, which is correct for
+    /// stateless test protocols only.
+    fn on_restart(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        self.on_start(ctx);
+    }
+
+    /// Fault-model hook: arm `failures` transient failures on the
+    /// protocol's persistent storage (see
+    /// `mnp_storage::PacketStore::inject_write_faults`). Protocols without
+    /// writable storage ignore it.
+    fn inject_storage_fault(&mut self, failures: u32) {
+        let _ = failures;
+    }
+
     /// Cumulative EEPROM line operations, polled for energy accounting.
     fn eeprom_ops(&self) -> EepromOps {
         EepromOps::default()

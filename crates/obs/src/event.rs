@@ -170,6 +170,27 @@ pub enum EventKind {
     FirstHeard,
     /// The node was killed by the failure model.
     NodeFailed,
+    /// The node rebooted after a crash: RAM state reset, EEPROM intact.
+    NodeRestarted,
+    /// The fault model degraded the outgoing link to `to`.
+    LinkFault {
+        /// Receiving end of the degraded link.
+        to: NodeId,
+        /// The degraded bit-error rate, in parts per billion.
+        ber_ppb: u64,
+    },
+    /// The fault model restored the outgoing link to `to`.
+    LinkRestored {
+        /// Receiving end of the restored link.
+        to: NodeId,
+        /// The restored bit-error rate, in parts per billion.
+        ber_ppb: u64,
+    },
+    /// The fault model armed transient EEPROM write failures on this node.
+    StorageFault {
+        /// How many upcoming packet writes will fail.
+        failures: u32,
+    },
 }
 
 impl fmt::Display for ObsEvent {

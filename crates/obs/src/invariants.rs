@@ -117,7 +117,7 @@ impl Observer for InvariantMonitor {
             EventKind::SleepStart { .. } => {
                 self.asleep.insert(node);
             }
-            EventKind::Wake | EventKind::NodeFailed => {
+            EventKind::Wake | EventKind::NodeFailed | EventKind::NodeRestarted => {
                 self.asleep.remove(&node);
             }
             EventKind::MsgTx { detail, .. } => {

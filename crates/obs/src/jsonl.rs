@@ -165,6 +165,22 @@ impl Observer for JsonlLogger {
             EventKind::NodeFailed => self.line(ev, |o| {
                 o.s("ev", "failed");
             }),
+            EventKind::NodeRestarted => self.line(ev, |o| {
+                o.s("ev", "restarted");
+            }),
+            EventKind::LinkFault { to, ber_ppb } => self.line(ev, |o| {
+                o.s("ev", "link_fault")
+                    .u("to", to.0 as u64)
+                    .u("ber_ppb", ber_ppb);
+            }),
+            EventKind::LinkRestored { to, ber_ppb } => self.line(ev, |o| {
+                o.s("ev", "link_restored")
+                    .u("to", to.0 as u64)
+                    .u("ber_ppb", ber_ppb);
+            }),
+            EventKind::StorageFault { failures } => self.line(ev, |o| {
+                o.s("ev", "storage_fault").u("failures", failures as u64);
+            }),
         }
     }
 
@@ -257,11 +273,21 @@ mod tests {
             EventKind::BecameSender,
             EventKind::FirstHeard,
             EventKind::NodeFailed,
+            EventKind::NodeRestarted,
+            EventKind::LinkFault {
+                to: NodeId(5),
+                ber_ppb: 1_000_000_000,
+            },
+            EventKind::LinkRestored {
+                to: NodeId(5),
+                ber_ppb: 1_000_000,
+            },
+            EventKind::StorageFault { failures: 2 },
         ];
         for k in kinds {
             log.on_event(&ev(k));
         }
-        assert_eq!(log.events(), 12);
+        assert_eq!(log.events(), 16);
         for line in log.as_str().lines() {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
             assert!(line.contains(r#""ev":"#), "{line}");

@@ -121,6 +121,12 @@ pub struct NodeMetrics {
     pub state_changes: u64,
     /// Whether the failure model killed this node.
     pub failed: bool,
+    /// Crash-restarts survived (reboots with persistent EEPROM).
+    pub restarts: u64,
+    /// Outgoing link faults injected at this node.
+    pub link_faults: u64,
+    /// Transient EEPROM write faults armed on this node.
+    pub storage_faults: u64,
     asleep_since: Option<u64>,
 }
 
@@ -221,7 +227,10 @@ impl MetricsRegistry {
                 .u("eeprom_writes", n.eeprom_writes)
                 .u("segments_done", n.segments_done)
                 .u("state_changes", n.state_changes)
-                .b("failed", n.failed);
+                .b("failed", n.failed)
+                .u("restarts", n.restarts)
+                .u("link_faults", n.link_faults)
+                .u("storage_faults", n.storage_faults);
             o.end();
         }
         out.push_str("],\n\"aggregate\":");
@@ -309,7 +318,18 @@ impl Observer for MetricsRegistry {
             EventKind::EepromWrite { .. } => n.eeprom_writes += 1,
             EventKind::SegmentDone { .. } => n.segments_done += 1,
             EventKind::NodeFailed => n.failed = true,
-            EventKind::Completed
+            EventKind::NodeRestarted => {
+                n.restarts += 1;
+                // A reboot powers the radio back on; close any sleep
+                // interval left open by the crash.
+                if let Some(s) = n.asleep_since.take() {
+                    n.sleep_us += t.saturating_sub(s);
+                }
+            }
+            EventKind::LinkFault { .. } => n.link_faults += 1,
+            EventKind::StorageFault { failures } => n.storage_faults += failures as u64,
+            EventKind::LinkRestored { .. }
+            | EventKind::Completed
             | EventKind::Parent { .. }
             | EventKind::BecameSender
             | EventKind::FirstHeard => {}

@@ -12,9 +12,10 @@ use std::path::Path;
 /// trace (the JSON format `chrome://tracing` and Perfetto load directly).
 ///
 /// Each node becomes one "thread" (`tid` = node id); each labelled state
-/// interval becomes a complete (`"ph":"X"`) duration event; completion and
-/// failure become instant (`"ph":"i"`) markers. Timestamps are
-/// microseconds of simulation time.
+/// interval becomes a complete (`"ph":"X"`) duration event; completion,
+/// failure and restart become instant (`"ph":"i"`) markers. A killed node
+/// shows an explicit "down" span until it restarts (or until run end).
+/// Timestamps are microseconds of simulation time.
 #[derive(Debug, Default)]
 pub struct TimelineExporter {
     /// Per-node currently-open state: (start micros, label).
@@ -140,6 +141,18 @@ impl Observer for TimelineExporter {
             EventKind::NodeFailed => {
                 self.markers.push((node, "failed", t));
                 self.close_open(index, node, t);
+                // Leave an open "down" span so a crash-restarted node's
+                // outage is visible (and so its next `State` event is not
+                // mistaken for a first sighting and backfilled from t=0).
+                if index >= self.open.len() {
+                    self.open.resize(index + 1, None);
+                }
+                self.open[index] = Some((t, "down"));
+            }
+            EventKind::NodeRestarted => {
+                // The restart's own `State` transition (or run end) closes
+                // the "down" span; the marker pins the reboot instant.
+                self.markers.push((node, "restarted", t));
             }
             _ => {}
         }
@@ -207,8 +220,35 @@ mod tests {
             kind: EventKind::NodeFailed,
         });
         tl.on_run_end(SimTime::from_micros(100));
-        assert_eq!(tl.spans(), &[(1, "Idle", 0, 60)]);
+        assert_eq!(tl.spans(), &[(1, "Idle", 0, 60), (1, "down", 60, 40)]);
         assert_eq!(tl.markers, vec![(1, "failed", 60)]);
+    }
+
+    #[test]
+    fn restart_closes_the_down_span_without_backfilling() {
+        let mut tl = TimelineExporter::new();
+        tl.on_event(&state(1, 0, "", "Download"));
+        tl.on_event(&ObsEvent {
+            t: SimTime::from_micros(60),
+            node: NodeId(1),
+            kind: EventKind::NodeFailed,
+        });
+        tl.on_event(&ObsEvent {
+            t: SimTime::from_micros(90),
+            node: NodeId(1),
+            kind: EventKind::NodeRestarted,
+        });
+        tl.on_event(&state(1, 90, "Download", "Idle"));
+        tl.on_run_end(SimTime::from_micros(100));
+        assert_eq!(
+            tl.spans(),
+            &[
+                (1, "Download", 0, 60),
+                (1, "down", 60, 30),
+                (1, "Idle", 90, 10),
+            ]
+        );
+        assert_eq!(tl.markers, vec![(1, "failed", 60), (1, "restarted", 90)]);
     }
 
     #[test]

@@ -268,6 +268,28 @@ impl<P> Medium<P> {
         &self.links
     }
 
+    /// Replaces the bit-error rate of the directed link `from -> to`
+    /// (fault injection: link degradation and restoration).
+    ///
+    /// The edge itself stays in the graph — a BER of `1.0` makes every
+    /// frame on the link fail while keeping receivers "audible" for
+    /// carrier sensing and collision accounting, which mirrors a real
+    /// interference burst. Frames already in flight are judged against the
+    /// BER in effect when they finish, matching how the medium samples
+    /// link loss at delivery time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge does not already exist, if `ber` is outside
+    /// `[0, 1]`, or on a self-loop (see [`LinkTable::connect`]).
+    pub fn set_link_ber(&mut self, from: NodeId, to: NodeId, ber: f64) {
+        assert!(
+            self.links.ber(from, to).is_some(),
+            "link fault on a non-existent edge {from:?} -> {to:?}"
+        );
+        self.links.connect(from, to, ber);
+    }
+
     /// The radio state of `node`.
     pub fn radio_state(&self, node: NodeId) -> RadioState {
         self.radios[node.index()].state
@@ -576,6 +598,36 @@ mod tests {
 
     fn frame(src: u16, tag: u32) -> Frame<u32> {
         Frame::new(NodeId(src), 20, tag)
+    }
+
+    #[test]
+    fn link_flap_kills_then_restores_delivery() {
+        let mut m = clique(2);
+        // Degrade 0 -> 1 to a guaranteed loss, then restore it.
+        m.set_link_ber(NodeId(0), NodeId(1), 1.0);
+        let t0 = SimTime::ZERO;
+        let tx = m.start_transmission(NodeId(0), frame(0, 1), t0).unwrap();
+        let out = m.finish_transmission(tx.id, t0 + tx.airtime);
+        assert!(out.delivered.is_empty(), "flapped link must drop the frame");
+        assert_eq!(
+            out.missed,
+            vec![NodeId(1)],
+            "lost to bit errors, not collision"
+        );
+        m.set_link_ber(NodeId(0), NodeId(1), 0.0);
+        let t1 = t0 + tx.airtime;
+        let tx = m.start_transmission(NodeId(0), frame(0, 2), t1).unwrap();
+        let out = m.finish_transmission(tx.id, t1 + tx.airtime);
+        assert_eq!(out.delivered.len(), 1, "restored link delivers again");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-existent edge")]
+    fn link_fault_on_missing_edge_panics() {
+        let mut links = LinkTable::new(3);
+        links.connect(NodeId(0), NodeId(1), 0.0);
+        let mut m = Medium::<u32>::new(links, SimRng::new(1));
+        m.set_link_ber(NodeId(0), NodeId(2), 0.5);
     }
 
     #[test]

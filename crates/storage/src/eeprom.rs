@@ -33,6 +33,16 @@ pub enum StorageError {
         /// Received payload length.
         got: usize,
     },
+    /// A transient write failure injected by the fault model: nothing was
+    /// committed, the slot stays empty, and retrying the same write later
+    /// can succeed. Protocols recover through their normal loss-recovery
+    /// path (the packet stays in the missing vector and is re-requested).
+    WriteFault {
+        /// Segment of the packet whose write failed.
+        seg: u16,
+        /// Packet index within the segment.
+        pkt: u16,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -43,6 +53,12 @@ impl fmt::Display for StorageError {
             }
             StorageError::WrongLength { expected, got } => {
                 write!(f, "payload length {got} does not match layout ({expected})")
+            }
+            StorageError::WriteFault { seg, pkt } => {
+                write!(
+                    f,
+                    "transient EEPROM write fault on segment {seg} packet {pkt}"
+                )
             }
         }
     }
@@ -69,6 +85,9 @@ pub struct PacketStore {
     pub line_writes: u64,
     /// EEPROM line reads performed (for the energy meter).
     pub line_reads: u64,
+    /// Pending injected write faults: the next `pending_write_faults`
+    /// otherwise-valid writes fail with [`StorageError::WriteFault`].
+    pending_write_faults: u32,
 }
 
 impl PacketStore {
@@ -83,7 +102,22 @@ impl PacketStore {
             segments,
             line_writes: 0,
             line_reads: 0,
+            pending_write_faults: 0,
         }
+    }
+
+    /// Arms `n` transient write faults: the next `n` otherwise-valid calls
+    /// to [`PacketStore::write_packet`] fail with
+    /// [`StorageError::WriteFault`] without committing anything. Duplicate
+    /// and wrong-length writes are rejected as usual and do not consume a
+    /// fault. Used by the deterministic fault-injection subsystem.
+    pub fn inject_write_faults(&mut self, n: u32) {
+        self.pending_write_faults = self.pending_write_faults.saturating_add(n);
+    }
+
+    /// Injected write faults not yet consumed.
+    pub fn pending_write_faults(&self) -> u32 {
+        self.pending_write_faults
     }
 
     /// The program being received.
@@ -102,7 +136,10 @@ impl PacketStore {
     ///
     /// [`StorageError::DuplicateWrite`] if the packet was already stored;
     /// [`StorageError::WrongLength`] if `payload` does not match the layout
-    /// (the last packet of the image may be short).
+    /// (the last packet of the image may be short);
+    /// [`StorageError::WriteFault`] if an injected transient fault consumed
+    /// this write (see [`PacketStore::inject_write_faults`]) — the slot is
+    /// left empty and a later retry can succeed.
     ///
     /// # Panics
     ///
@@ -118,6 +155,10 @@ impl PacketStore {
         let slot = &mut self.segments[usize::from(seg)][usize::from(pkt)];
         if slot.is_some() {
             return Err(StorageError::DuplicateWrite { seg, pkt });
+        }
+        if self.pending_write_faults > 0 {
+            self.pending_write_faults -= 1;
+            return Err(StorageError::WriteFault { seg, pkt });
         }
         *slot = Some(payload.to_vec());
         self.line_writes += payload.len().div_ceil(EEPROM_LINE_BYTES) as u64;
@@ -287,6 +328,44 @@ mod tests {
                 .unwrap();
         }
         assert_eq!(store.packets_received(), 10);
+    }
+
+    #[test]
+    fn injected_write_faults_are_transient_and_retry_succeeds() {
+        let img = image(1);
+        let mut store = PacketStore::new(img.id(), img.layout());
+        store.inject_write_faults(2);
+        assert_eq!(store.pending_write_faults(), 2);
+        for _ in 0..2 {
+            let err = store
+                .write_packet(0, 9, img.packet_payload(0, 9))
+                .unwrap_err();
+            assert_eq!(err, StorageError::WriteFault { seg: 0, pkt: 9 });
+            assert!(!store.has_packet(0, 9));
+        }
+        // Nothing was committed and no line writes were charged.
+        assert_eq!(store.line_writes, 0);
+        assert_eq!(store.pending_write_faults(), 0);
+        // The retry after the faults drain succeeds normally.
+        store.write_packet(0, 9, img.packet_payload(0, 9)).unwrap();
+        assert!(store.has_packet(0, 9));
+    }
+
+    #[test]
+    fn duplicate_and_short_writes_do_not_consume_injected_faults() {
+        let img = image(1);
+        let mut store = PacketStore::new(img.id(), img.layout());
+        store.write_packet(0, 0, img.packet_payload(0, 0)).unwrap();
+        store.inject_write_faults(1);
+        // A duplicate write is rejected as a duplicate, not as a fault.
+        let err = store
+            .write_packet(0, 0, img.packet_payload(0, 0))
+            .unwrap_err();
+        assert_eq!(err, StorageError::DuplicateWrite { seg: 0, pkt: 0 });
+        // A wrong-length write is rejected before the fault check too.
+        let err = store.write_packet(0, 1, &[0u8; 3]).unwrap_err();
+        assert!(matches!(err, StorageError::WrongLength { .. }));
+        assert_eq!(store.pending_write_faults(), 1);
     }
 
     #[test]

@@ -33,6 +33,7 @@ fn main() {
     println!("{}", exp::battery::run(seed));
     println!("{}", exp::subsets::run(seed));
     println!("{}", exp::resilience::run(seed));
+    println!("{}", exp::resilience::run_chaos(seed));
     println!("{}", exp::capture::run(seed));
     println!("{}", exp::ablation::run(seed));
 }

@@ -58,7 +58,9 @@ pub mod prelude {
         Deluge, DelugeConfig, Flood, FloodConfig, Moap, MoapConfig, Xnp, XnpConfig,
     };
     pub use mnp_experiments::{GridExperiment, RunOutcome};
-    pub use mnp_net::{Context, Network, NetworkBuilder, Protocol, WireMsg};
+    pub use mnp_net::{
+        Context, FaultPlan, Network, NetworkBuilder, PlannedFault, Protocol, WireMsg,
+    };
     pub use mnp_obs::{
         EventKind, InvariantMonitor, JsonlLogger, MetricsRegistry, ObsEvent, Observer, Shared,
         TimelineExporter,

@@ -150,6 +150,54 @@ fn capture_enabled_event_logs_are_byte_identical() {
 }
 
 #[test]
+fn faulted_runs_replay_byte_identically() {
+    // Fault injection must not cost reproducibility: a FaultPlan is fixed
+    // before the run and delivered through the event queue, so the same
+    // network seed plus the same plan replays the same JSONL event log
+    // byte for byte — crashes, reboots, flaps, write faults and all.
+    let plan = || {
+        FaultPlan::seeded(5)
+            .crash_restart(NodeId(5), SimTime::from_secs(12), SimDuration::from_secs(9))
+            .link_flap(
+                NodeId(0),
+                NodeId(1),
+                SimTime::from_secs(6),
+                SimDuration::from_secs(4),
+                1.0,
+            )
+            .storage_faults(NodeId(3), SimTime::from_secs(4), 2)
+            .random_crash_restarts(
+                2,
+                &[NodeId(2), NodeId(7), NodeId(11)],
+                (SimTime::from_secs(5), SimTime::from_secs(60)),
+                (SimDuration::from_secs(3), SimDuration::from_secs(12)),
+            )
+    };
+    let log_for = |faults: Option<FaultPlan>| {
+        let log = Shared::new(JsonlLogger::new());
+        let mut scenario = GridExperiment::new(4, 4, 10.0).segments(1).seed(77);
+        if let Some(p) = faults {
+            scenario = scenario.faults(p);
+        }
+        let out = scenario.run_mnp_observed(|_| {}, vec![Box::new(log.clone())]);
+        assert!(out.completed, "transient faults must not cost completion");
+        let text = log.borrow().as_str().to_owned();
+        text
+    };
+    let a = log_for(Some(plan()));
+    let b = log_for(Some(plan()));
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same seed + same plan must replay the same log");
+
+    let clean = log_for(None);
+    assert_ne!(a, clean, "the faults must actually perturb the run");
+    assert!(
+        a.contains("\"ev\":\"restarted\""),
+        "the crash-restart must surface in the event log"
+    );
+}
+
+#[test]
 fn seed_sweep_always_completes() {
     // Robustness across randomness: no seed in a small sweep may fail
     // coverage on a connected grid.
