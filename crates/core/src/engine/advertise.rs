@@ -68,11 +68,20 @@ impl AdvertiseScheduler {
     /// a node receives a download request for segment y while advertising
     /// segment x, if y < x, then it starts advertising y"). Requester
     /// accounting resets; the advertisement count of the round does not.
-    pub fn retarget(&mut self, seg: u16) {
-        debug_assert!(seg < self.seg);
+    ///
+    /// Requests for the current or a higher segment are a no-op (returns
+    /// `false`): under schedule perturbation a duplicate request for the
+    /// segment already served can arrive after the switch, and wiping
+    /// `ReqCtr` for it — let alone asserting it away — would corrupt the
+    /// sender-selection standing mid-round.
+    pub fn retarget(&mut self, seg: u16) -> bool {
+        if seg >= self.seg {
+            return false;
+        }
         self.seg = seg;
         self.req_ctr = 0;
         self.requesters.clear();
+        true
     }
 
     /// Records a download request from `requester`; returns `true` if it
@@ -103,9 +112,11 @@ impl AdvertiseScheduler {
         self.advs_in_round < adv_count
     }
 
-    /// Counts one advertisement sent in this round.
+    /// Counts one advertisement sent in this round. Saturates: a round
+    /// kept open past 255 sends (a quiet round never closed by a timer
+    /// lost to a crash) must not wrap the counter back to "owes more".
     pub fn record_sent(&mut self) {
-        self.advs_in_round += 1;
+        self.advs_in_round = self.advs_in_round.saturating_add(1);
     }
 
     /// Closes a quiet (requester-less) round so the next one advertises
@@ -270,10 +281,37 @@ mod tests {
         a.begin_round(3);
         a.note_request(NodeId(1));
         a.record_sent();
-        a.retarget(1);
+        assert!(a.retarget(1));
         assert_eq!(a.seg(), 1);
         assert_eq!(a.req_ctr(), 0);
         assert!(!a.should_send(1), "advertisement budget is preserved");
+    }
+
+    #[test]
+    fn retarget_to_current_or_higher_segment_is_a_no_op() {
+        let mut a = AdvertiseScheduler::new();
+        a.begin_round(2);
+        a.note_request(NodeId(1));
+        // A duplicate request for the segment already served (reordered
+        // across the switch) must not wipe the round's standing.
+        assert!(!a.retarget(2));
+        assert_eq!(a.req_ctr(), 1, "ReqCtr survives the duplicate");
+        assert!(!a.retarget(5), "higher segments never retarget");
+        assert_eq!(a.seg(), 2);
+        assert_eq!(a.req_ctr(), 1);
+    }
+
+    #[test]
+    fn record_sent_saturates_instead_of_wrapping() {
+        let mut a = AdvertiseScheduler::new();
+        a.begin_round(0);
+        for _ in 0..300 {
+            a.record_sent();
+        }
+        // A wrapped counter would read as "owes more advertisements".
+        assert!(!a.should_send(u8::MAX));
+        a.end_quiet_round();
+        assert!(a.should_send(1), "closing the round re-opens the budget");
     }
 
     #[test]

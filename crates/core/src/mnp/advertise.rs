@@ -38,12 +38,17 @@ impl Mnp {
         ctx.set_timer(delay, self.timers.token(T_ADV));
     }
 
-    /// Re-aims the advertised segment at `seg` (pipelining rule 3:
-    /// "whenever a node receives a download request for segment y while
-    /// advertising segment x, if y < x, then it starts advertising y").
+    /// Re-aims the advertised segment at `seg` if it is lower than the
+    /// one currently served (pipelining rule 3: "whenever a node receives
+    /// a download request for segment y while advertising segment x, if
+    /// y < x, then it starts advertising y"). Requests for the current or
+    /// a higher segment leave the round — including the forward bitmap —
+    /// untouched, so duplicate requests reordered across the switch are
+    /// harmless.
     fn switch_adv_segment(&mut self, seg: u16) {
-        self.adv.retarget(seg);
-        self.fwd.reset();
+        if self.adv.retarget(seg) {
+            self.fwd.reset();
+        }
     }
 
     pub(super) fn on_advertisement(&mut self, ctx: &mut Context<'_, MnpMsg>, adv: &Advertisement) {
@@ -100,9 +105,7 @@ impl Mnp {
             if req.seg > self.adv.seg() {
                 return; // we do not hold that segment yet
             }
-            if req.seg < self.adv.seg() {
-                self.switch_adv_segment(req.seg);
-            }
+            self.switch_adv_segment(req.seg);
             if self.adv.note_request(req.requester) {
                 // Active updating phase: resume eager advertising
                 // ("applying different advertise frequencies enables fast
@@ -123,9 +126,10 @@ impl Mnp {
             if self.adv.loses_to(ctx.id, rival) {
                 let span = self.sleep_span(ctx);
                 self.rest(ctx, span);
-            } else if req.seg < self.adv.seg() {
-                // The lower-segment source has no requesters yet; serve its
-                // segment ourselves instead of yielding.
+            } else {
+                // The rival has no winning standing; if it serves a lower
+                // segment with no requesters yet, serve that segment
+                // ourselves instead of yielding (no-op otherwise).
                 self.switch_adv_segment(req.seg);
             }
         }

@@ -11,6 +11,9 @@
 //!                      [--grids RxC,RxC,...]
 //!        mnp-run chaos [--seed N] [--grid N] [--crashes A,B,...]
 //!                      [--flaps A,B,...]
+//!        mnp-run fuzz [--runs N] [--seed N] [--policy fifo|permute]
+//!                     [--shrink-budget N] [--out PATH]
+//!        mnp-run repro PATH
 //! ```
 //!
 //! Prints the run summary (completion, active radio time, messages,
@@ -27,6 +30,16 @@
 //! penalty per fault count. It exits non-zero if any node failed to
 //! complete (transient faults must not cost coverage).
 //!
+//! `mnp-run fuzz` runs the schedule-exploration fuzz campaign
+//! (DESIGN.md §11): seeded random scenarios — grid, faults, and optionally
+//! a permuted same-instant event order — checked against the oracle set
+//! (no panic, protocol invariants, liveness, reception-lock conservation,
+//! counter overflow). The first failure is shrunk to a minimal scenario
+//! and written as a `repro.json` that `mnp-run repro` replays
+//! deterministically. Panics are only observable as an oracle in builds
+//! with debug assertions (the default dev profile), so run the fuzz
+//! subcommand *without* `--release`.
+//!
 //! `mnp-run scale` instead runs the large-grid scale benchmark
 //! (wall-time, events/sec, heap allocations; see `mnp_experiments::scale`)
 //! and writes `BENCH_scale.json`. This binary installs a counting global
@@ -39,7 +52,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use mnp_experiments::{resilience, scale, GridExperiment, RunOutcome};
+use mnp_experiments::{fuzz, resilience, scale, GridExperiment, RunOutcome};
 use mnp_net::Observer;
 use mnp_obs::{InvariantMonitor, JsonlLogger, MetricsRegistry, Shared, TimelineExporter};
 use mnp_radio::{NodeId, PowerLevel};
@@ -162,7 +175,7 @@ impl Args {
     }
 }
 
-const USAGE: &str = "Usage: mnp-run [--rows N] [--cols N] [--spacing FT] [--segments N]\n               [--power LEVEL] [--seed N] [--seeds A,B,...]\n               [--protocol mnp|deluge]\n               [--capture] [--heatmap] [--parents]\n               [--events PATH] [--metrics PATH] [--timeline PATH]\n               [--check-invariants]\n       mnp-run scale [--seed N] [--segments N] [--out PATH]\n                     [--grids RxC,RxC,...]\n       mnp-run chaos [--seed N] [--grid N] [--crashes A,B,...]\n                     [--flaps A,B,...]";
+const USAGE: &str = "Usage: mnp-run [--rows N] [--cols N] [--spacing FT] [--segments N]\n               [--power LEVEL] [--seed N] [--seeds A,B,...]\n               [--protocol mnp|deluge]\n               [--capture] [--heatmap] [--parents]\n               [--events PATH] [--metrics PATH] [--timeline PATH]\n               [--check-invariants]\n       mnp-run scale [--seed N] [--segments N] [--out PATH]\n                     [--grids RxC,RxC,...]\n       mnp-run chaos [--seed N] [--grid N] [--crashes A,B,...]\n                     [--flaps A,B,...]\n       mnp-run fuzz [--runs N] [--seed N] [--policy fifo|permute]\n                    [--shrink-budget N] [--out PATH]\n       mnp-run repro PATH";
 
 fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String>
 where
@@ -183,6 +196,24 @@ fn main() -> ExitCode {
     }
     if std::env::args().nth(1).as_deref() == Some("chaos") {
         return match run_chaos(std::env::args().skip(2)) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if std::env::args().nth(1).as_deref() == Some("fuzz") {
+        return match run_fuzz(std::env::args().skip(2)) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if std::env::args().nth(1).as_deref() == Some("repro") {
+        return match run_repro(std::env::args().skip(2)) {
             Ok(code) => code,
             Err(msg) => {
                 eprintln!("{msg}");
@@ -377,6 +408,117 @@ fn run_chaos(mut it: impl Iterator<Item = String>) -> Result<ExitCode, String> {
         eprintln!("transient faults cost coverage: some node never completed");
         ExitCode::FAILURE
     })
+}
+
+/// `mnp-run fuzz`: the schedule-exploration fuzz campaign (DESIGN.md §11).
+fn run_fuzz(mut it: impl Iterator<Item = String>) -> Result<ExitCode, String> {
+    let mut cfg = fuzz::FuzzConfig {
+        runs: 40,
+        ..fuzz::FuzzConfig::default()
+    };
+    let mut out_path = String::from("repro.json");
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--runs" => cfg.runs = parse(&value("--runs")?)?,
+            "--seed" => cfg.fuzz_seed = parse(&value("--seed")?)?,
+            "--policy" => {
+                cfg.permute = match value("--policy")?.as_str() {
+                    "fifo" => false,
+                    "permute" => true,
+                    other => return Err(format!("unknown policy {other:?} (fifo|permute)")),
+                }
+            }
+            "--shrink-budget" => cfg.shrink_budget = parse(&value("--shrink-budget")?)?,
+            "--out" => out_path = value("--out")?,
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if cfg!(not(debug_assertions)) {
+        eprintln!(
+            "warning: built without debug assertions — the panic oracle \
+             misses debug_assert! violations (run without --release)"
+        );
+    }
+    println!(
+        "fuzz: {} runs, stream seed {}, policy {}",
+        cfg.runs,
+        cfg.fuzz_seed,
+        if cfg.permute { "permute" } else { "fifo" }
+    );
+
+    // `run_scenario` turns panics into verdicts; silence the default hook
+    // so every probed panic does not spray a backtrace over the report.
+    // This is a CLI-only affordance — the library never touches the
+    // process-global hook (tests run multithreaded).
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = fuzz::fuzz(&cfg, |i, sc, verdict| {
+        let tag = match verdict {
+            fuzz::Verdict::Pass => "pass",
+            fuzz::Verdict::Fail(_) => "FAIL",
+            fuzz::Verdict::Invalid(_) => "invalid",
+        };
+        println!("  [{i:>3}] {tag:<7} {sc}");
+    });
+    std::panic::set_hook(hook);
+
+    match outcome {
+        Ok(runs) => {
+            println!("fuzz: {runs} scenarios, zero failures");
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(report) => {
+            println!("fuzz: scenario {} failed: {}", report.index, report.failure);
+            println!(
+                "shrink: {} -> {} ({} check runs)",
+                report.original, report.shrunk, report.shrink_spent
+            );
+            let json = fuzz::emit_repro(&report.shrunk, &report.failure);
+            std::fs::write(&out_path, &json)
+                .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+            println!("wrote {out_path}; replay with: mnp-run repro {out_path}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+/// `mnp-run repro`: deterministically replays a shrunk `repro.json`.
+fn run_repro(mut it: impl Iterator<Item = String>) -> Result<ExitCode, String> {
+    let path = it
+        .next()
+        .ok_or_else(|| format!("repro needs a PATH\n{USAGE}"))?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let (sc, recorded) = fuzz::parse_repro(&text)?;
+    println!("repro: {sc}");
+    if let Some(kind) = recorded {
+        println!("recorded failure kind: {}", kind.name());
+    }
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let verdict = fuzz::run_scenario(&sc);
+    std::panic::set_hook(hook);
+    match verdict {
+        fuzz::Verdict::Pass => {
+            println!("replay: all oracles pass (the recorded failure is fixed)");
+            Ok(ExitCode::SUCCESS)
+        }
+        fuzz::Verdict::Invalid(msg) => Err(format!("replay: scenario is invalid: {msg}")),
+        fuzz::Verdict::Fail(f) => {
+            let matches = recorded.is_none_or(|k| k == f.kind);
+            println!(
+                "replay: reproduced {}{}",
+                f,
+                if matches {
+                    ""
+                } else {
+                    " (DIFFERENT kind than recorded)"
+                }
+            );
+            Ok(ExitCode::FAILURE)
+        }
+    }
 }
 
 fn run_seeds(args: &Args, scenario: &GridExperiment, seeds: &[u64]) -> ExitCode {

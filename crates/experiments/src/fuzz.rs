@@ -1,0 +1,1164 @@
+//! `mnp-check`: seeded scenario fuzzing with shrinking repros.
+//!
+//! The headline experiments replay one schedule per seed — the FIFO
+//! tie-break makes a run a pure function of its seed, which is perfect for
+//! reproduction and useless for finding ordering bugs: same-instant events
+//! always pop in insertion order, so an entire family of interleavings is
+//! never executed. This module explores that family deterministically:
+//!
+//! 1. **Generate** — [`generate`] draws a grid topology, protocol sizing,
+//!    and a transient-fault plan from a fuzz seed (crash–restarts, link
+//!    flaps, EEPROM write faults; never fail-stop kills, so the liveness
+//!    oracle below is sound).
+//! 2. **Perturb** — the scenario optionally runs under
+//!    [`TieBreak::SeededPermutation`], which permutes the delivery order of
+//!    same-instant events while staying byte-replayable per seed.
+//! 3. **Check** — [`run_scenario`] runs the scenario against the oracle
+//!    set: no panic, no [`InvariantMonitor`] violation (write-once EEPROM,
+//!    in-order segments, sleep/transmit exclusion, ReqCtr echo), every node
+//!    completes, reception-lock conservation in the medium, and no
+//!    wrapped-around protocol counter.
+//! 4. **Shrink** — [`shrink`] greedily minimises a failing scenario (drop
+//!    faults, shrink the grid, drop a segment, truncate the deadline,
+//!    re-seed the permutation) and [`emit_repro`] writes a `repro.json`
+//!    that `mnp-run repro` replays deterministically.
+//!
+//! All JSON here is hand-rolled like the rest of the workspace (offline
+//! build, no serde): the repro format is a flat integer-plus-string subset
+//! parsed by [`parse_repro`].
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use mnp::{Mnp, MnpConfig, MnpStats};
+use mnp_net::{FaultPlan, NetworkBuilder};
+use mnp_obs::{InvariantMonitor, Observer, Shared};
+use mnp_radio::{MediumStats, NodeId, PowerLevel};
+use mnp_sim::{SimDuration, SimRng, SimTime, TieBreak};
+use mnp_storage::{ImageLayout, ProgramId, ProgramImage};
+use mnp_topology::{GridSpec, TopologyBuilder};
+
+/// One planned transient fault of a fuzz scenario.
+///
+/// Mirrors the transient subset of [`mnp_net::PlannedFault`]; fail-stop
+/// kills are deliberately absent so "every node completes" stays a sound
+/// oracle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// Node dies at `at` and restarts `down` later (RAM lost, flash kept).
+    CrashRestart {
+        /// The crashing node.
+        node: u16,
+        /// Crash instant.
+        at: SimTime,
+        /// Outage length.
+        down: SimDuration,
+    },
+    /// Directed link degraded to `ber_ppb` parts-per-billion bit error
+    /// rate at `at`, restored `down` later.
+    LinkFlap {
+        /// Transmitting end of the flapped edge.
+        from: u16,
+        /// Receiving end of the flapped edge.
+        to: u16,
+        /// Flap instant.
+        at: SimTime,
+        /// Outage length.
+        down: SimDuration,
+        /// Degraded bit error rate in parts per billion (`1_000_000_000`
+        /// = total loss).
+        ber_ppb: u64,
+    },
+    /// The node's next `failures` EEPROM writes fail transiently from `at`.
+    StorageFaults {
+        /// The faulting node.
+        node: u16,
+        /// Injection instant.
+        at: SimTime,
+        /// Number of consecutive write failures.
+        failures: u32,
+    },
+}
+
+/// A complete, self-describing fuzz scenario: everything needed to replay
+/// one run byte-for-byte.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuzzScenario {
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// Image size in full segments.
+    pub segments: u16,
+    /// Experiment seed (topology sampling + protocol randomness).
+    pub seed: u64,
+    /// `Some(seed)` runs under [`TieBreak::SeededPermutation`]; `None` is
+    /// the FIFO baseline.
+    pub tie_seed: Option<u64>,
+    /// Simulation deadline.
+    pub deadline: SimTime,
+    /// Transient faults injected into the run.
+    pub faults: Vec<FaultSpec>,
+}
+
+/// Grid spacing every fuzz scenario uses (feet). Fixed: spacing only
+/// rescales link quality, which the seed already varies.
+pub const FUZZ_SPACING_FT: f64 = 10.0;
+
+impl FuzzScenario {
+    /// The scenario's tie-break policy.
+    pub fn tie_break(&self) -> TieBreak {
+        match self.tie_seed {
+            Some(s) => TieBreak::SeededPermutation(s),
+            None => TieBreak::Fifo,
+        }
+    }
+
+    /// The scenario's fault plan.
+    pub fn fault_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::seeded(self.seed);
+        for f in &self.faults {
+            plan = match *f {
+                FaultSpec::CrashRestart { node, at, down } => {
+                    plan.crash_restart(NodeId(node), at, down)
+                }
+                FaultSpec::LinkFlap {
+                    from,
+                    to,
+                    at,
+                    down,
+                    ber_ppb,
+                } => plan.link_flap(NodeId(from), NodeId(to), at, down, ber_ppb as f64 / 1e9),
+                FaultSpec::StorageFaults { node, at, failures } => {
+                    plan.storage_faults(NodeId(node), at, failures)
+                }
+            };
+        }
+        plan
+    }
+}
+
+impl fmt::Display for FuzzScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} grid, {} seg, seed {}, {}, {} fault(s), deadline {:.0}s",
+            self.rows,
+            self.cols,
+            self.segments,
+            self.seed,
+            match self.tie_seed {
+                Some(s) => format!("permute({s})"),
+                None => "fifo".into(),
+            },
+            self.faults.len(),
+            self.deadline.as_secs_f64(),
+        )
+    }
+}
+
+/// What kind of oracle a failing run violated.
+///
+/// The shrinker accepts a smaller scenario only if it fails with the
+/// *same kind* — messages carry node ids and counts that legitimately
+/// shift while shrinking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The run panicked (assertion, overflow, index error).
+    Panic,
+    /// An [`InvariantMonitor`] safety property was violated.
+    Invariant,
+    /// Some node never completed before the deadline.
+    Liveness,
+    /// A reception lock was acquired but never resolved (or resolved more
+    /// than once) in the medium accounting.
+    Conservation,
+    /// A protocol counter wrapped below zero (reads as a huge value).
+    StatOverflow,
+}
+
+impl FailureKind {
+    /// Stable lowercase name used in `repro.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::Panic => "panic",
+            FailureKind::Invariant => "invariant",
+            FailureKind::Liveness => "liveness",
+            FailureKind::Conservation => "conservation",
+            FailureKind::StatOverflow => "stat_overflow",
+        }
+    }
+
+    /// Parses a [`FailureKind::name`] back.
+    pub fn from_name(s: &str) -> Option<FailureKind> {
+        Some(match s {
+            "panic" => FailureKind::Panic,
+            "invariant" => FailureKind::Invariant,
+            "liveness" => FailureKind::Liveness,
+            "conservation" => FailureKind::Conservation,
+            "stat_overflow" => FailureKind::StatOverflow,
+            _ => return None,
+        })
+    }
+}
+
+/// One oracle violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuzzFailure {
+    /// Which oracle fired.
+    pub kind: FailureKind,
+    /// Human-readable context (panic payload, violation text, node id).
+    pub message: String,
+}
+
+impl fmt::Display for FuzzFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.kind.name(), self.message)
+    }
+}
+
+/// The outcome of running one scenario against the oracle set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every oracle passed.
+    Pass,
+    /// An oracle fired.
+    Fail(FuzzFailure),
+    /// The scenario cannot run (unreachable topology, fault naming a
+    /// node or edge the shrunken graph no longer has). Not a failure:
+    /// shrink candidates that become invalid are simply rejected.
+    Invalid(String),
+}
+
+impl Verdict {
+    /// The failure, if this verdict is one.
+    pub fn failure(&self) -> Option<&FuzzFailure> {
+        match self {
+            Verdict::Fail(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+/// Data collected from a run that finished without panicking.
+struct RunData {
+    completed: bool,
+    incomplete: Vec<u16>,
+    medium: Vec<MediumStats>,
+    stats: Vec<MnpStats>,
+}
+
+/// Runs one scenario and applies the oracle set.
+///
+/// Deterministic: the same scenario always returns the same verdict. The
+/// entire build-and-run executes under [`catch_unwind`], so a
+/// `debug_assert!` deep in the protocol surfaces as
+/// [`FailureKind::Panic`] instead of tearing the fuzz loop down — which
+/// also means panics are only observable oracles in builds with debug
+/// assertions on (the default `cargo` profile; CI runs the fuzz smoke
+/// unoptimised for exactly this reason).
+pub fn run_scenario(sc: &FuzzScenario) -> Verdict {
+    let monitor = Shared::new(InvariantMonitor::lenient());
+    let attach = monitor.clone();
+    let result = catch_unwind(AssertUnwindSafe(|| run_once(sc, Box::new(attach))));
+    let data = match result {
+        Err(payload) => {
+            return Verdict::Fail(FuzzFailure {
+                kind: FailureKind::Panic,
+                message: panic_message(payload.as_ref()),
+            })
+        }
+        Ok(Err(invalid)) => return Verdict::Invalid(invalid),
+        Ok(Ok(data)) => data,
+    };
+
+    // Oracle order: most specific first, so a run that trips several
+    // reports the most actionable one.
+    let monitor = monitor.borrow();
+    if let Some(v) = monitor.violations().first() {
+        return Verdict::Fail(FuzzFailure {
+            kind: FailureKind::Invariant,
+            message: v.clone(),
+        });
+    }
+    for (i, m) in data.medium.iter().enumerate() {
+        let resolved = m.frames_received + m.rx_corrupted + m.bit_error_losses + m.rx_aborted;
+        // A node holds at most one reception lock, so at quiescence the
+        // books balance exactly or are one in-flight frame short.
+        let slack = m.rx_locks.checked_sub(resolved);
+        if !matches!(slack, Some(0) | Some(1)) {
+            return Verdict::Fail(FuzzFailure {
+                kind: FailureKind::Conservation,
+                message: format!(
+                    "node {i}: {} reception locks vs {} resolutions \
+                     ({} received, {} corrupted, {} bit-error, {} aborted)",
+                    m.rx_locks,
+                    resolved,
+                    m.frames_received,
+                    m.rx_corrupted,
+                    m.bit_error_losses,
+                    m.rx_aborted
+                ),
+            });
+        }
+    }
+    for (i, s) in data.stats.iter().enumerate() {
+        if let Some((name, value)) = overflowed_counter(s) {
+            return Verdict::Fail(FuzzFailure {
+                kind: FailureKind::StatOverflow,
+                message: format!("node {i}: counter {name} = {value} (wrapped below zero?)"),
+            });
+        }
+    }
+    if !data.completed {
+        return Verdict::Fail(FuzzFailure {
+            kind: FailureKind::Liveness,
+            message: format!(
+                "nodes {:?} never completed before the {:.0}s deadline \
+                 (all faults are transient, so they must)",
+                data.incomplete,
+                sc.deadline.as_secs_f64()
+            ),
+        });
+    }
+    Verdict::Pass
+}
+
+/// Builds and runs the scenario's network; `Err` means the scenario is
+/// structurally invalid (cannot even be built).
+fn run_once(sc: &FuzzScenario, monitor: Box<dyn Observer>) -> Result<RunData, String> {
+    let grid = GridSpec::new(sc.rows, sc.cols, FUZZ_SPACING_FT);
+    let mut topo_rng = SimRng::new(sc.seed).derive(0xdeadbeef);
+    let topo = TopologyBuilder::new(grid.placement())
+        .power(PowerLevel::FULL)
+        .build(&mut topo_rng);
+    if !topo
+        .links
+        .reaches_all_usable(NodeId(0), mnp_radio::loss::usable_ber_threshold())
+    {
+        return Err("sampled topology does not reach every node".into());
+    }
+    let image = ProgramImage::synthetic(ProgramId(1), ImageLayout::paper_default(sc.segments));
+    let cfg = MnpConfig::for_image(&image);
+    let mut net = NetworkBuilder::new(topo.links, sc.seed)
+        .tie_break(sc.tie_break())
+        .faults(sc.fault_plan())
+        .observer(monitor)
+        .try_build(|id, _| {
+            if id == NodeId(0) {
+                Mnp::base_station(cfg.clone(), &image)
+            } else {
+                Mnp::node(cfg.clone())
+            }
+        })
+        .map_err(|e| e.to_string())?;
+    let completed = net.run_until_all_complete(sc.deadline);
+    let n = net.len();
+    let incomplete = (0..n)
+        .map(NodeId::from_index)
+        .filter(|&id| !net.protocol(id).is_complete())
+        .map(|id| id.0)
+        .collect();
+    let medium = (0..n)
+        .map(|i| net.medium().stats(NodeId::from_index(i)))
+        .collect();
+    let stats = (0..n)
+        .map(|i| net.protocol(NodeId::from_index(i)).stats)
+        .collect();
+    Ok(RunData {
+        completed,
+        incomplete,
+        medium,
+        stats,
+    })
+}
+
+/// The first protocol counter whose value is implausibly huge (a `u64`
+/// that went below zero wraps to `> 2^63`).
+fn overflowed_counter(s: &MnpStats) -> Option<(&'static str, u64)> {
+    const LIMIT: u64 = 1 << 63;
+    let fields = [
+        ("fails", s.fails),
+        ("fails_dl_timeout", s.fails_dl_timeout),
+        ("fails_update", s.fails_update),
+        ("forward_rounds", s.forward_rounds),
+        ("retransmissions", s.retransmissions),
+        ("requests_sent", s.requests_sent),
+        ("sleeps", s.sleeps),
+        ("advertisements_sent", s.advertisements_sent),
+        ("write_faults", s.write_faults),
+    ];
+    fields.into_iter().find(|&(_, v)| v >= LIMIT)
+}
+
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Draws scenario `index` of the stream identified by `fuzz_seed`.
+///
+/// Pure function of `(fuzz_seed, index, permute)`: grids 3×3 to 5×5, one
+/// or two segments, up to four transient faults drawn against the actual
+/// sampled topology (so link flaps always name real edges and generated
+/// scenarios are valid by construction). The base station is exempt from
+/// crash and storage faults — restarting the only holder of the image is
+/// a liveness question of its own, probed separately.
+pub fn generate(fuzz_seed: u64, index: u64, permute: bool) -> FuzzScenario {
+    let mut rng = SimRng::new(fuzz_seed).derive(index);
+    let rows = 3 + rng.index(3);
+    let cols = 3 + rng.index(3);
+    let segments = 1 + rng.index(2) as u16;
+    // Redraw the experiment seed until the sampled topology is viable
+    // (full power at 10 ft almost always is; the bound is a formality).
+    let mut seed = rng.next_u64();
+    let grid = GridSpec::new(rows, cols, FUZZ_SPACING_FT);
+    let mut links = None;
+    for _ in 0..32 {
+        let mut topo_rng = SimRng::new(seed).derive(0xdeadbeef);
+        let topo = TopologyBuilder::new(grid.placement())
+            .power(PowerLevel::FULL)
+            .build(&mut topo_rng);
+        if topo
+            .links
+            .reaches_all_usable(NodeId(0), mnp_radio::loss::usable_ber_threshold())
+        {
+            links = Some(topo.links);
+            break;
+        }
+        seed = rng.next_u64();
+    }
+    let links = links.expect("no viable topology in 32 draws (full power, 10 ft)");
+
+    let n = rows * cols;
+    let edges: Vec<(u16, u16)> = (0..n)
+        .map(NodeId::from_index)
+        .flat_map(|from| links.neighbors(from).map(move |(to, _)| (from.0, to.0)))
+        .collect();
+    let window = (SimTime::from_secs(60), SimTime::from_secs(1200));
+    let mut faults = Vec::new();
+    for _ in 0..rng.index(5) {
+        let at = SimTime::from_micros(rng.range_u64(window.0.as_micros(), window.1.as_micros()));
+        faults.push(match rng.index(3) {
+            0 => FaultSpec::CrashRestart {
+                node: 1 + rng.index(n - 1) as u16,
+                at,
+                down: SimDuration::from_secs(rng.range_u64(5, 180)),
+            },
+            1 => {
+                let (from, to) = edges[rng.index(edges.len())];
+                FaultSpec::LinkFlap {
+                    from,
+                    to,
+                    at,
+                    down: SimDuration::from_secs(rng.range_u64(5, 60)),
+                    ber_ppb: 1_000_000_000,
+                }
+            }
+            _ => FaultSpec::StorageFaults {
+                node: 1 + rng.index(n - 1) as u16,
+                at,
+                failures: 1 + rng.index(3) as u32,
+            },
+        });
+    }
+    FuzzScenario {
+        rows,
+        cols,
+        segments,
+        seed,
+        tie_seed: permute.then(|| rng.next_u64()),
+        deadline: SimTime::from_secs(4 * 3_600),
+        faults,
+    }
+}
+
+/// Greedily minimises a failing scenario.
+///
+/// Tries, in order: dropping each fault, shrinking rows and columns,
+/// dropping a segment, halving the deadline (skipped for
+/// [`FailureKind::Liveness`], which any short deadline fails vacuously),
+/// and replacing the permutation seed with small values. A candidate is
+/// accepted if `check` fails it with the *same kind*; [`Verdict::Invalid`]
+/// candidates (shrinking orphaned a fault) are rejected. Runs to a fixed
+/// point or until `budget` check calls are spent; returns the smallest
+/// scenario found and the number of check calls used.
+pub fn shrink(
+    original: &FuzzScenario,
+    kind: FailureKind,
+    budget: u32,
+    mut check: impl FnMut(&FuzzScenario) -> Verdict,
+) -> (FuzzScenario, u32) {
+    let mut best = original.clone();
+    let mut spent = 0u32;
+    let mut try_accept = |cand: FuzzScenario, best: &mut FuzzScenario, spent: &mut u32| -> bool {
+        if *spent >= budget {
+            return false;
+        }
+        *spent += 1;
+        if matches!(check(&cand), Verdict::Fail(f) if f.kind == kind) {
+            *best = cand;
+            true
+        } else {
+            false
+        }
+    };
+    loop {
+        let mut improved = false;
+        // Drop faults, largest index first so removal indices stay valid.
+        for i in (0..best.faults.len()).rev() {
+            let mut cand = best.clone();
+            cand.faults.remove(i);
+            improved |= try_accept(cand, &mut best, &mut spent);
+        }
+        if best.rows > 2 {
+            let mut cand = best.clone();
+            cand.rows -= 1;
+            improved |= try_accept(cand, &mut best, &mut spent);
+        }
+        if best.cols > 2 {
+            let mut cand = best.clone();
+            cand.cols -= 1;
+            improved |= try_accept(cand, &mut best, &mut spent);
+        }
+        if best.segments > 1 {
+            let mut cand = best.clone();
+            cand.segments -= 1;
+            improved |= try_accept(cand, &mut best, &mut spent);
+        }
+        if kind != FailureKind::Liveness && best.deadline > SimTime::from_secs(600) {
+            let mut cand = best.clone();
+            cand.deadline = SimTime::from_micros(best.deadline.as_micros() / 2);
+            improved |= try_accept(cand, &mut best, &mut spent);
+        }
+        if let Some(tie) = best.tie_seed {
+            if tie > 7 {
+                for small in 0..4u64 {
+                    let mut cand = best.clone();
+                    cand.tie_seed = Some(small);
+                    if try_accept(cand, &mut best, &mut spent) {
+                        improved = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !improved || spent >= budget {
+            return (best, spent);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// repro.json
+// ---------------------------------------------------------------------------
+
+/// Renders a failing scenario as `repro.json`.
+///
+/// The format is self-contained: `mnp-run repro <file>` rebuilds the
+/// scenario with [`parse_repro`] and replays it deterministically. Times
+/// are integer microseconds; the recorded failure is advisory (the replay
+/// re-derives its own verdict).
+pub fn emit_repro(sc: &FuzzScenario, failure: &FuzzFailure) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!("  \"rows\": {},\n", sc.rows));
+    out.push_str(&format!("  \"cols\": {},\n", sc.cols));
+    out.push_str(&format!("  \"segments\": {},\n", sc.segments));
+    out.push_str(&format!("  \"seed\": {},\n", sc.seed));
+    if let Some(tie) = sc.tie_seed {
+        out.push_str(&format!("  \"tie_seed\": {tie},\n"));
+    }
+    out.push_str(&format!(
+        "  \"deadline_us\": {},\n",
+        sc.deadline.as_micros()
+    ));
+    out.push_str("  \"faults\": [");
+    for (i, f) in sc.faults.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    ");
+        match *f {
+            FaultSpec::CrashRestart { node, at, down } => out.push_str(&format!(
+                "{{\"kind\": \"crash_restart\", \"node\": {node}, \"at_us\": {}, \"down_us\": {}}}",
+                at.as_micros(),
+                down.as_micros()
+            )),
+            FaultSpec::LinkFlap {
+                from,
+                to,
+                at,
+                down,
+                ber_ppb,
+            } => out.push_str(&format!(
+                "{{\"kind\": \"link_flap\", \"from\": {from}, \"to\": {to}, \
+                 \"at_us\": {}, \"down_us\": {}, \"ber_ppb\": {ber_ppb}}}",
+                at.as_micros(),
+                down.as_micros()
+            )),
+            FaultSpec::StorageFaults { node, at, failures } => out.push_str(&format!(
+                "{{\"kind\": \"storage_faults\", \"node\": {node}, \
+                 \"at_us\": {}, \"failures\": {failures}}}",
+                at.as_micros()
+            )),
+        }
+    }
+    out.push_str(if sc.faults.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    out.push_str(&format!(
+        "  \"failure\": {{\"kind\": \"{}\", \"message\": \"{}\"}}\n",
+        failure.kind.name(),
+        escape_json(&failure.message)
+    ));
+    out.push_str("}\n");
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A parsed JSON value — exactly the subset [`emit_repro`] produces.
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Num(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn field<'a>(&'a self, name: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn num(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b) if b.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => return Err(format!("bad object separator {other:?}")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("bad array separator {other:?}")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    // Multi-byte UTF-8 continuation bytes pass through.
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number: {e}"))
+    }
+}
+
+/// Parses a `repro.json` back into the scenario it records (plus the
+/// advisory recorded failure kind, if present and well-formed).
+pub fn parse_repro(text: &str) -> Result<(FuzzScenario, Option<FailureKind>), String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let root = p.value()?;
+    let get = |name: &str| {
+        root.field(name)
+            .and_then(Json::num)
+            .ok_or_else(|| format!("missing integer field {name:?}"))
+    };
+    let version = get("version")?;
+    if version != 1 {
+        return Err(format!("unsupported repro version {version}"));
+    }
+    let mut faults = Vec::new();
+    if let Some(Json::Arr(items)) = root.field("faults") {
+        for item in items {
+            let fget = |name: &str| {
+                item.field(name)
+                    .and_then(Json::num)
+                    .ok_or_else(|| format!("fault missing integer field {name:?}"))
+            };
+            let kind = item
+                .field("kind")
+                .and_then(Json::str)
+                .ok_or("fault missing kind")?;
+            faults.push(match kind {
+                "crash_restart" => FaultSpec::CrashRestart {
+                    node: fget("node")? as u16,
+                    at: SimTime::from_micros(fget("at_us")?),
+                    down: SimDuration::from_micros(fget("down_us")?),
+                },
+                "link_flap" => FaultSpec::LinkFlap {
+                    from: fget("from")? as u16,
+                    to: fget("to")? as u16,
+                    at: SimTime::from_micros(fget("at_us")?),
+                    down: SimDuration::from_micros(fget("down_us")?),
+                    ber_ppb: fget("ber_ppb")?,
+                },
+                "storage_faults" => FaultSpec::StorageFaults {
+                    node: fget("node")? as u16,
+                    at: SimTime::from_micros(fget("at_us")?),
+                    failures: fget("failures")? as u32,
+                },
+                other => return Err(format!("unknown fault kind {other:?}")),
+            });
+        }
+    }
+    let recorded = root
+        .field("failure")
+        .and_then(|f| f.field("kind"))
+        .and_then(Json::str)
+        .and_then(FailureKind::from_name);
+    Ok((
+        FuzzScenario {
+            rows: get("rows")? as usize,
+            cols: get("cols")? as usize,
+            segments: get("segments")? as u16,
+            seed: get("seed")?,
+            tie_seed: root.field("tie_seed").and_then(Json::num),
+            deadline: SimTime::from_micros(get("deadline_us")?),
+            faults,
+        },
+        recorded,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// The fuzz loop
+// ---------------------------------------------------------------------------
+
+/// Configuration of one fuzz campaign.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Scenarios to run (stopping early at the first failure).
+    pub runs: u64,
+    /// Stream seed: scenario `i` is `generate(fuzz_seed, i, ...)`.
+    pub fuzz_seed: u64,
+    /// Run under the seeded-permutation tie-break (otherwise FIFO).
+    pub permute: bool,
+    /// Check-call budget of the shrinking pass.
+    pub shrink_budget: u32,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            runs: 20,
+            fuzz_seed: 1,
+            permute: false,
+            shrink_budget: 64,
+        }
+    }
+}
+
+/// The first failure a campaign found, already shrunk.
+#[derive(Clone, Debug)]
+pub struct FuzzReport {
+    /// Index of the failing scenario in the stream.
+    pub index: u64,
+    /// The scenario as generated.
+    pub original: FuzzScenario,
+    /// The minimised scenario (still failing with the same kind).
+    pub shrunk: FuzzScenario,
+    /// The failure the *shrunk* scenario reproduces.
+    pub failure: FuzzFailure,
+    /// Shrink check-calls spent.
+    pub shrink_spent: u32,
+}
+
+/// Runs a fuzz campaign: generate → run → on failure, shrink.
+///
+/// Returns `Ok(runs_executed)` if every scenario passed, or the shrunk
+/// first failure. `progress` is called once per scenario with its index
+/// and verdict (for CLI reporting).
+pub fn fuzz(
+    cfg: &FuzzConfig,
+    mut progress: impl FnMut(u64, &FuzzScenario, &Verdict),
+) -> Result<u64, Box<FuzzReport>> {
+    for i in 0..cfg.runs {
+        let sc = generate(cfg.fuzz_seed, i, cfg.permute);
+        let verdict = run_scenario(&sc);
+        progress(i, &sc, &verdict);
+        if let Verdict::Fail(failure) = verdict {
+            let (shrunk, spent) = shrink(&sc, failure.kind, cfg.shrink_budget, run_scenario);
+            // Re-run the winner for its (possibly reworded) message.
+            let final_failure = match run_scenario(&shrunk) {
+                Verdict::Fail(f) => f,
+                _ => failure,
+            };
+            return Err(Box::new(FuzzReport {
+                index: i,
+                original: sc,
+                shrunk,
+                failure: final_failure,
+                shrink_spent: spent,
+            }));
+        }
+    }
+    Ok(cfg.runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_scenario() -> FuzzScenario {
+        FuzzScenario {
+            rows: 3,
+            cols: 4,
+            segments: 2,
+            seed: 77,
+            tie_seed: Some(9),
+            deadline: SimTime::from_secs(1234),
+            faults: vec![
+                FaultSpec::CrashRestart {
+                    node: 3,
+                    at: SimTime::from_secs(100),
+                    down: SimDuration::from_secs(30),
+                },
+                FaultSpec::LinkFlap {
+                    from: 0,
+                    to: 1,
+                    at: SimTime::from_secs(200),
+                    down: SimDuration::from_secs(10),
+                    ber_ppb: 1_000_000_000,
+                },
+                FaultSpec::StorageFaults {
+                    node: 5,
+                    at: SimTime::from_secs(300),
+                    failures: 2,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn repro_json_roundtrips() {
+        let sc = sample_scenario();
+        let failure = FuzzFailure {
+            kind: FailureKind::Invariant,
+            message: "node 3 wrote EEPROM packet (0,3) twice — \"quoted\"\nline 2".into(),
+        };
+        let json = emit_repro(&sc, &failure);
+        let (parsed, recorded) = parse_repro(&json).expect("parse back");
+        assert_eq!(parsed, sc);
+        assert_eq!(recorded, Some(FailureKind::Invariant));
+    }
+
+    #[test]
+    fn repro_json_roundtrips_without_tie_seed_or_faults() {
+        let sc = FuzzScenario {
+            tie_seed: None,
+            faults: Vec::new(),
+            ..sample_scenario()
+        };
+        let failure = FuzzFailure {
+            kind: FailureKind::Liveness,
+            message: "x".into(),
+        };
+        let (parsed, recorded) = parse_repro(&emit_repro(&sc, &failure)).unwrap();
+        assert_eq!(parsed, sc);
+        assert_eq!(recorded, Some(FailureKind::Liveness));
+        assert_eq!(parsed.tie_break(), TieBreak::Fifo);
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        let a = generate(42, 3, true);
+        let b = generate(42, 3, true);
+        assert_eq!(a, b, "same (seed, index) draws the same scenario");
+        assert!(a.tie_seed.is_some());
+        let c = generate(42, 4, true);
+        assert_ne!(a, c, "the stream varies by index");
+        // Generated scenarios are valid by construction: every fault
+        // names a live node / real edge.
+        assert!(
+            a.fault_plan()
+                .validate(&{
+                    let grid = GridSpec::new(a.rows, a.cols, FUZZ_SPACING_FT);
+                    let mut rng = SimRng::new(a.seed).derive(0xdeadbeef);
+                    TopologyBuilder::new(grid.placement())
+                        .power(PowerLevel::FULL)
+                        .build(&mut rng)
+                        .links
+                })
+                .is_ok(),
+            "generated faults validate against the sampled topology"
+        );
+    }
+
+    #[test]
+    fn clean_scenario_passes_all_oracles() {
+        let sc = FuzzScenario {
+            rows: 3,
+            cols: 3,
+            segments: 1,
+            seed: 5,
+            tie_seed: None,
+            deadline: SimTime::from_secs(4 * 3_600),
+            faults: Vec::new(),
+        };
+        assert_eq!(run_scenario(&sc), Verdict::Pass);
+        // The permuted schedule of the same scenario passes too.
+        let permuted = FuzzScenario {
+            tie_seed: Some(11),
+            ..sc
+        };
+        assert_eq!(run_scenario(&permuted), Verdict::Pass);
+    }
+
+    #[test]
+    fn orphaned_fault_is_invalid_not_failing() {
+        let sc = FuzzScenario {
+            rows: 3,
+            cols: 3,
+            segments: 1,
+            seed: 5,
+            tie_seed: None,
+            deadline: SimTime::from_secs(600),
+            faults: vec![FaultSpec::CrashRestart {
+                node: 99, // a 3x3 grid has nodes 0..9
+                at: SimTime::from_secs(100),
+                down: SimDuration::from_secs(10),
+            }],
+        };
+        assert!(matches!(run_scenario(&sc), Verdict::Invalid(_)));
+    }
+
+    #[test]
+    fn shrinker_minimises_against_a_synthetic_oracle() {
+        // Synthetic bug: the scenario "fails" iff it still contains a
+        // storage fault. The shrinker should strip the other faults,
+        // shrink the grid to the 2x2 floor, drop to one segment, and
+        // truncate the deadline — without ever accepting a candidate that
+        // lost the storage fault.
+        let original = sample_scenario();
+        let check = |sc: &FuzzScenario| {
+            if sc
+                .faults
+                .iter()
+                .any(|f| matches!(f, FaultSpec::StorageFaults { .. }))
+            {
+                Verdict::Fail(FuzzFailure {
+                    kind: FailureKind::Invariant,
+                    message: "synthetic".into(),
+                })
+            } else {
+                Verdict::Pass
+            }
+        };
+        let (shrunk, spent) = shrink(&original, FailureKind::Invariant, 256, check);
+        assert_eq!(shrunk.faults.len(), 1, "only the culprit fault remains");
+        assert!(matches!(shrunk.faults[0], FaultSpec::StorageFaults { .. }));
+        assert_eq!((shrunk.rows, shrunk.cols), (2, 2));
+        assert_eq!(shrunk.segments, 1);
+        assert!(shrunk.deadline <= SimTime::from_secs(700));
+        assert!(shrunk.tie_seed.unwrap() < 4, "permutation re-seeded small");
+        assert!(spent <= 256);
+    }
+
+    #[test]
+    fn shrinker_rejects_wrong_kind_and_invalid_candidates() {
+        let original = sample_scenario();
+        // Every candidate "fails" with a different kind: nothing shrinks.
+        let (same, _) = shrink(&original, FailureKind::Panic, 64, |_| {
+            Verdict::Fail(FuzzFailure {
+                kind: FailureKind::Liveness,
+                message: "other".into(),
+            })
+        });
+        assert_eq!(same, original);
+        // Every candidate is invalid: nothing shrinks either.
+        let (same, _) = shrink(&original, FailureKind::Panic, 64, |_| {
+            Verdict::Invalid("nope".into())
+        });
+        assert_eq!(same, original);
+    }
+
+    #[test]
+    fn shrinker_respects_its_budget() {
+        let original = sample_scenario();
+        let mut calls = 0u32;
+        let (_, spent) = shrink(&original, FailureKind::Invariant, 2, |_| {
+            calls += 1;
+            Verdict::Fail(FuzzFailure {
+                kind: FailureKind::Invariant,
+                message: "always".into(),
+            })
+        });
+        assert_eq!(calls, 2);
+        assert_eq!(spent, 2);
+    }
+
+    #[test]
+    fn failure_kind_names_roundtrip() {
+        for kind in [
+            FailureKind::Panic,
+            FailureKind::Invariant,
+            FailureKind::Liveness,
+            FailureKind::Conservation,
+            FailureKind::StatOverflow,
+        ] {
+            assert_eq!(FailureKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(FailureKind::from_name("nonsense"), None);
+    }
+}

@@ -24,6 +24,7 @@
 //! | [`capture`] | X4 — capture-effect sensitivity of the radio model |
 //! | [`ablation`] | DESIGN.md A1–A4 — design-choice ablations |
 //! | [`scale`] | simulator scale benchmark (`mnp-run scale`, BENCH_scale.json) |
+//! | [`fuzz`] | DESIGN.md §11 — schedule-exploration fuzz harness (`mnp-run fuzz`/`repro`) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +42,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
+pub mod fuzz;
 pub mod resilience;
 pub mod runner;
 pub mod scale;

@@ -7,7 +7,7 @@ use mnp_baselines::{Deluge, DelugeConfig};
 use mnp_net::{FaultPlan, Network, NetworkBuilder, Observer, Protocol};
 use mnp_obs::InvariantMonitor;
 use mnp_radio::{NodeId, PowerLevel};
-use mnp_sim::{SimRng, SimTime};
+use mnp_sim::{SimRng, SimTime, TieBreak};
 use mnp_storage::{ImageLayout, ProgramId, ProgramImage};
 use mnp_topology::{GridSpec, TopologyBuilder};
 use mnp_trace::{MsgClass, RunTrace};
@@ -38,6 +38,7 @@ pub struct GridExperiment {
     capture: bool,
     check_invariants: bool,
     faults: Option<FaultPlan>,
+    tie_break: TieBreak,
 }
 
 impl GridExperiment {
@@ -57,6 +58,7 @@ impl GridExperiment {
             capture: false,
             check_invariants: false,
             faults: None,
+            tie_break: TieBreak::Fifo,
         }
     }
 
@@ -80,6 +82,16 @@ impl GridExperiment {
     /// same faulted schedule byte for byte.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Sets the event queue's same-instant tie-break policy. The default
+    /// [`TieBreak::Fifo`] is the deterministic insertion order every
+    /// headline experiment uses; [`TieBreak::SeededPermutation`] explores
+    /// alternative same-instant schedules for the fuzz harness, still
+    /// byte-reproducible per seed.
+    pub fn tie_break(mut self, tie_break: TieBreak) -> Self {
+        self.tie_break = tie_break;
         self
     }
 
@@ -261,7 +273,9 @@ impl GridExperiment {
             "sampled topology has no usable bidirectional path to some node; \
              coverage is impossible (reseed)"
         );
-        let mut builder = NetworkBuilder::new(topo.links, self.seed).capture(self.capture);
+        let mut builder = NetworkBuilder::new(topo.links, self.seed)
+            .capture(self.capture)
+            .tie_break(self.tie_break);
         if let Some(plan) = &self.faults {
             builder = builder.faults(plan.clone());
         }

@@ -9,8 +9,53 @@
 //! network's event queue, so a run with the same seed and the same plan
 //! replays byte-for-byte.
 
+use std::fmt;
+
 use mnp_radio::{LinkTable, NodeId};
 use mnp_sim::{SimDuration, SimRng, SimTime};
+
+/// Why a [`FaultPlan`] cannot run against a given link graph.
+///
+/// Returned by [`FaultPlan::validate`] and
+/// [`NetworkBuilder::try_build`](crate::NetworkBuilder::try_build), so a
+/// harness assembling plans programmatically (the fuzz shrinker shrinking a
+/// grid out from under a fault schedule, for instance) gets a typed,
+/// recoverable error instead of a mid-build panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// A fault names a node outside the link graph.
+    UnknownNode {
+        /// The out-of-range node.
+        node: NodeId,
+        /// Number of nodes the graph actually has.
+        nodes: usize,
+    },
+    /// A link flap names a directed edge the graph does not contain.
+    MissingEdge {
+        /// Transmitting end of the named edge.
+        from: NodeId,
+        /// Receiving end of the named edge.
+        to: NodeId,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultPlanError::UnknownNode { node, nodes } => {
+                write!(
+                    f,
+                    "fault plan names unknown node {node} (graph has {nodes} nodes)"
+                )
+            }
+            FaultPlanError::MissingEdge { from, to } => {
+                write!(f, "fault plan flaps missing edge {from}->{to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
 
 /// One scheduled fault.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -129,6 +174,36 @@ impl FaultPlan {
     /// The scheduled faults, in insertion order.
     pub fn faults(&self) -> &[PlannedFault] {
         &self.faults
+    }
+
+    /// Checks every scheduled fault against `links`: nodes must be in
+    /// range, and flapped edges must exist. The network builder runs this
+    /// up front, before any fault is expanded into queue events, so a bad
+    /// plan is rejected whole instead of panicking mid-build.
+    pub fn validate(&self, links: &LinkTable) -> Result<(), FaultPlanError> {
+        let nodes = links.len();
+        let check_node = |node: NodeId| {
+            if node.index() < nodes {
+                Ok(())
+            } else {
+                Err(FaultPlanError::UnknownNode { node, nodes })
+            }
+        };
+        for fault in &self.faults {
+            match *fault {
+                PlannedFault::Kill { node, .. }
+                | PlannedFault::CrashRestart { node, .. }
+                | PlannedFault::StorageFaults { node, .. } => check_node(node)?,
+                PlannedFault::LinkFlap { from, to, .. } => {
+                    check_node(from)?;
+                    check_node(to)?;
+                    if links.ber(from, to).is_none() {
+                        return Err(FaultPlanError::MissingEdge { from, to });
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Schedules a permanent fail-stop.
@@ -338,6 +413,53 @@ mod tests {
             ]
         );
         assert_eq!(plan.faults()[0].at(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn validate_accepts_in_range_plans() {
+        let links = ring(4);
+        let plan = FaultPlan::seeded(1)
+            .kill(NodeId(3), SimTime::from_secs(1))
+            .crash_restart(NodeId(2), SimTime::from_secs(2), SimDuration::from_secs(3))
+            .link_flap(
+                NodeId(0),
+                NodeId(1),
+                SimTime::from_secs(1),
+                SimDuration::from_secs(1),
+                1.0,
+            )
+            .storage_faults(NodeId(1), SimTime::from_secs(1), 2);
+        assert_eq!(plan.validate(&links), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_nodes_and_missing_edges() {
+        let links = ring(4);
+        let bad_node = FaultPlan::seeded(1).kill(NodeId(9), SimTime::from_secs(1));
+        assert_eq!(
+            bad_node.validate(&links),
+            Err(FaultPlanError::UnknownNode {
+                node: NodeId(9),
+                nodes: 4,
+            })
+        );
+        // 0 -> 2 is a chord the 4-ring does not have.
+        let bad_edge = FaultPlan::seeded(1).link_flap(
+            NodeId(0),
+            NodeId(2),
+            SimTime::from_secs(1),
+            SimDuration::from_secs(1),
+            1.0,
+        );
+        let err = bad_edge.validate(&links).unwrap_err();
+        assert_eq!(
+            err,
+            FaultPlanError::MissingEdge {
+                from: NodeId(0),
+                to: NodeId(2),
+            }
+        );
+        assert!(err.to_string().contains("missing edge"), "{err}");
     }
 
     #[test]

@@ -67,7 +67,7 @@ mod network;
 mod protocol;
 
 pub use context::Context;
-pub use fault::{FaultPlan, PlannedFault};
+pub use fault::{FaultPlan, FaultPlanError, PlannedFault};
 pub use network::{Network, NetworkBuilder};
 pub use protocol::{EepromOps, Protocol, WireMsg};
 

@@ -135,8 +135,26 @@ pub struct MediumStats {
     pub frames_sent: u64,
     /// Frames delivered intact to this node.
     pub frames_received: u64,
-    /// Receptions lost to collisions at this node.
+    /// Reception locks this node acquired (it was listening when a frame's
+    /// preamble arrived and locked onto it).
+    ///
+    /// A node holds at most one lock at a time, and every lock resolves as
+    /// exactly one of delivered ([`frames_received`](Self::frames_received)),
+    /// corrupted ([`rx_corrupted`](Self::rx_corrupted)), bit-error loss
+    /// ([`bit_error_losses`](Self::bit_error_losses)), or aborted
+    /// ([`rx_aborted`](Self::rx_aborted)) — so at any instant
+    /// `rx_locks - (the four resolutions)` is 0 or 1 per node. The fuzz
+    /// harness checks this conservation law after every run.
+    pub rx_locks: u64,
+    /// Collision events observed at this node: one per overlapping
+    /// transmission that corrupts (or would corrupt) a held lock, plus one
+    /// when the corrupted lock finally resolves. A lock overlapped by
+    /// several rivals counts several times; use
+    /// [`rx_corrupted`](Self::rx_corrupted) to count corrupted *receptions*.
     pub collisions: u64,
+    /// Reception locks that resolved corrupted — exactly one per lock,
+    /// however many rival transmissions overlapped it.
+    pub rx_corrupted: u64,
     /// Receptions lost to link bit errors at this node.
     pub bit_error_losses: u64,
     /// Receptions this node abandoned before the frame ended: it
@@ -419,6 +437,7 @@ impl<P> Medium<P> {
                         tx: id,
                         corrupted: false,
                     });
+                    stats[n.index()].rx_locks += 1;
                     listeners.push(n);
                 }
                 RadioState::Receiving => {
@@ -524,6 +543,7 @@ impl<P> Medium<P> {
             cell.state = RadioState::Listening;
             if lock.corrupted {
                 self.stats[l.index()].collisions += 1;
+                self.stats[l.index()].rx_corrupted += 1;
                 out.corrupted.push(l);
                 continue;
             }
@@ -885,7 +905,7 @@ mod tests {
 
         let mut locks = 0u64;
         let (mut delivered, mut corrupted, mut missed) = (0u64, 0u64, 0u64);
-        let mut track = |m: &mut Medium<u32>, src: NodeId, tag: u32, t: SimTime| {
+        let track = |m: &mut Medium<u32>, src: NodeId, tag: u32, t: SimTime| {
             let new_locks = m
                 .links()
                 .neighbors(src)
@@ -894,7 +914,7 @@ mod tests {
             let tx = m.start_transmission(src, frame(src.0, tag), t).unwrap();
             (tx, new_locks)
         };
-        let mut absorb = |out: &TxOutcome<u32>| {
+        let absorb = |out: &TxOutcome<u32>| {
             (
                 out.delivered.len() as u64,
                 out.corrupted.len() as u64,
@@ -979,14 +999,32 @@ mod tests {
         let bit_errors: u64 = (0..n)
             .map(|i| m.stats(NodeId::from_index(i)).bit_error_losses)
             .sum();
+        let locked: u64 = (0..n)
+            .map(|i| m.stats(NodeId::from_index(i)).rx_locks)
+            .sum();
+        let rx_corrupted: u64 = (0..n)
+            .map(|i| m.stats(NodeId::from_index(i)).rx_corrupted)
+            .sum();
         assert_eq!(delivered, received, "outcome deliveries match stats");
         assert_eq!(missed, bit_errors, "outcome misses match stats");
+        assert_eq!(corrupted, rx_corrupted, "outcome corruptions match stats");
+        assert_eq!(locks, locked, "the medium counts every acquired lock");
         assert!(delivered > 0 && corrupted > 0 && missed > 0 && aborted > 0);
         assert_eq!(
             locks,
             delivered + corrupted + missed + aborted,
             "every lock resolves exactly once"
         );
+        // The same conservation law holds node by node — this is exactly
+        // the end-state oracle the fuzz harness applies.
+        for i in 0..n {
+            let s = m.stats(NodeId::from_index(i));
+            assert_eq!(
+                s.rx_locks,
+                s.frames_received + s.rx_corrupted + s.bit_error_losses + s.rx_aborted,
+                "node {i}: all locks resolved at quiescence"
+            );
+        }
     }
 }
 

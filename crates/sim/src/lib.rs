@@ -12,7 +12,9 @@
 //!   [`SimDuration`]).
 //! * **Deterministic ordering** — events scheduled for the same instant pop
 //!   in insertion order, so a run is a pure function of its seed
-//!   ([`EventQueue`]).
+//!   ([`EventQueue`]); a seeded-permutation tie-break ([`TieBreak`]) lets
+//!   the fuzz harness explore alternative same-instant schedules without
+//!   giving up replayability.
 //! * **Cancellable timers** keyed by opaque handles ([`TimerQueue`]).
 //! * **Reproducible randomness** — independent per-node streams derived from
 //!   one experiment seed ([`SimRng`]).
@@ -38,7 +40,7 @@ mod rng;
 mod time;
 mod timer;
 
-pub use queue::EventQueue;
+pub use queue::{EventQueue, TieBreak};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use timer::{TimerHandle, TimerQueue};

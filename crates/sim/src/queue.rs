@@ -3,7 +3,38 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::rng::mix;
 use crate::time::SimTime;
+
+/// How same-instant events are ordered relative to each other.
+///
+/// The policy never reorders events across distinct timestamps — time is
+/// always the primary key — and every policy is a pure function of the
+/// queue's inputs, so any run replays byte-for-byte.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TieBreak {
+    /// Same-instant events pop in push order. The default, and the order
+    /// every figure in EXPERIMENTS.md is regenerated under.
+    #[default]
+    Fifo,
+    /// Same-instant events pop in a pseudorandom permutation of push order,
+    /// derived from the given seed. Used by the `mnp-check` fuzz harness to
+    /// explore schedules the FIFO order never exercises; the same seed
+    /// yields the same permutation, so failures replay deterministically.
+    SeededPermutation(u64),
+}
+
+impl TieBreak {
+    /// The secondary sort key for an event pushed at `time` as the
+    /// `seq`-th push overall. FIFO keys are constant (push order decides);
+    /// the permutation policy hashes `(seed, time, seq)`.
+    fn key(self, time: SimTime, seq: u64) -> u64 {
+        match self {
+            TieBreak::Fifo => 0,
+            TieBreak::SeededPermutation(seed) => mix(mix(seed, time.as_micros()), seq),
+        }
+    }
+}
 
 /// A priority queue of timestamped events with deterministic tie-breaking.
 ///
@@ -11,6 +42,10 @@ use crate::time::SimTime;
 /// pushed (FIFO), which makes a whole simulation run a pure function of its
 /// inputs and seed. This property is load-bearing for the reproduction: every
 /// figure in EXPERIMENTS.md is regenerated from fixed seeds.
+///
+/// [`EventQueue::with_tie_break`] swaps the same-instant order for a seeded
+/// permutation ([`TieBreak::SeededPermutation`]), which the fuzz harness uses
+/// to explore alternative schedules while staying fully reproducible.
 ///
 /// # Example
 ///
@@ -28,20 +63,24 @@ use crate::time::SimTime;
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    tie_break: TieBreak,
 }
 
 #[derive(Debug)]
 struct Entry<E> {
     time: SimTime,
+    /// Policy-derived secondary key (0 under FIFO; a hash under the seeded
+    /// permutation). `seq` below keeps the order total either way.
+    key: u64,
     seq: u64,
     event: E,
 }
 
 // Reverse ordering: BinaryHeap is a max-heap and we want the earliest
-// (time, seq) pair first.
+// (time, key, seq) triple first.
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+        (other.time, other.key, other.seq).cmp(&(self.time, self.key, self.seq))
     }
 }
 
@@ -60,12 +99,23 @@ impl<E> PartialEq for Entry<E> {
 impl<E> Eq for Entry<E> {}
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue with FIFO tie-breaking.
     pub fn new() -> Self {
+        EventQueue::with_tie_break(TieBreak::Fifo)
+    }
+
+    /// Creates an empty queue with the given same-instant ordering policy.
+    pub fn with_tie_break(tie_break: TieBreak) -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            tie_break,
         }
+    }
+
+    /// The same-instant ordering policy this queue was built with.
+    pub fn tie_break(&self) -> TieBreak {
+        self.tie_break
     }
 
     /// Schedules `event` to fire at `time`.
@@ -75,7 +125,13 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, event });
+        let key = self.tie_break.key(time, seq);
+        self.heap.push(Entry {
+            time,
+            key,
+            seq,
+            event,
+        });
     }
 
     /// Removes and returns the earliest event, or `None` if the queue is
@@ -160,6 +216,48 @@ mod tests {
     }
 
     #[test]
+    fn seeded_permutation_reorders_ties_but_not_times() {
+        // 32 same-instant events: the permutation must visibly deviate from
+        // push order for at least one seed while keeping the set intact.
+        let drain_with = |seed: u64| {
+            let mut q = EventQueue::with_tie_break(TieBreak::SeededPermutation(seed));
+            for i in 0..32u32 {
+                q.push(SimTime::from_secs(1), i);
+            }
+            q.push(SimTime::from_secs(2), 99);
+            q.push(SimTime::ZERO, 98);
+            std::iter::from_fn(move || q.pop()).collect::<Vec<_>>()
+        };
+        let popped = drain_with(7);
+        // Distinct timestamps keep their order around the tie group.
+        assert_eq!(popped.first(), Some(&(SimTime::ZERO, 98)));
+        assert_eq!(popped.last(), Some(&(SimTime::from_secs(2), 99)));
+        let ties: Vec<u32> = popped[1..popped.len() - 1]
+            .iter()
+            .map(|&(_, e)| e)
+            .collect();
+        let mut sorted = ties.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>(), "a permutation");
+        assert_ne!(ties, (0..32).collect::<Vec<_>>(), "not the FIFO order");
+        // Byte-identical replay under the same seed; different under another.
+        assert_eq!(popped, drain_with(7));
+        assert_ne!(popped, drain_with(8));
+    }
+
+    #[test]
+    fn fifo_and_with_tie_break_fifo_agree() {
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::with_tie_break(TieBreak::Fifo);
+        assert_eq!(a.tie_break(), TieBreak::Fifo);
+        for i in 0..20u32 {
+            a.push(SimTime::from_micros(u64::from(i % 3)), i);
+            b.push(SimTime::from_micros(u64::from(i % 3)), i);
+        }
+        assert_eq!(drain(&mut a), drain(&mut b));
+    }
+
+    #[test]
     fn len_and_clear() {
         let mut q = EventQueue::new();
         assert!(q.is_empty());
@@ -195,6 +293,57 @@ mod proptests {
             let got: Vec<(u64, usize)> =
                 std::iter::from_fn(|| q.pop().map(|(t, e)| (t.as_micros(), e))).collect();
             prop_assert_eq!(got, expect);
+        }
+
+        /// `SeededPermutation` delivers exactly the FIFO event set — nothing
+        /// lost, nothing duplicated — and never reorders across distinct
+        /// timestamps.
+        #[test]
+        fn prop_permutation_preserves_the_event_set(
+            times in proptest::collection::vec(0u64..20, 1..200),
+            seed in any::<u64>(),
+        ) {
+            let mut fifo = EventQueue::new();
+            let mut perm = EventQueue::with_tie_break(TieBreak::SeededPermutation(seed));
+            for (i, &t) in times.iter().enumerate() {
+                fifo.push(SimTime::from_micros(t), i);
+                perm.push(SimTime::from_micros(t), i);
+            }
+            let fifo_out: Vec<(u64, usize)> =
+                std::iter::from_fn(|| fifo.pop().map(|(t, e)| (t.as_micros(), e))).collect();
+            let perm_out: Vec<(u64, usize)> =
+                std::iter::from_fn(|| perm.pop().map(|(t, e)| (t.as_micros(), e))).collect();
+            // Same multiset of (time, event) pairs.
+            let mut fifo_sorted = fifo_out.clone();
+            let mut perm_sorted = perm_out.clone();
+            fifo_sorted.sort_unstable();
+            perm_sorted.sort_unstable();
+            prop_assert_eq!(fifo_sorted, perm_sorted);
+            // Times still pop in non-decreasing order: the permutation only
+            // ever reshuffles within one instant.
+            for w in perm_out.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0, "time went backwards: {:?}", w);
+            }
+        }
+
+        /// The permutation is a pure function of the seed: two queues fed
+        /// the same pushes pop identically.
+        #[test]
+        fn prop_permutation_is_deterministic_per_seed(
+            times in proptest::collection::vec(0u64..20, 1..200),
+            seed in any::<u64>(),
+        ) {
+            let drain_with = |tie: TieBreak| {
+                let mut q = EventQueue::with_tie_break(tie);
+                for (i, &t) in times.iter().enumerate() {
+                    q.push(SimTime::from_micros(t), i);
+                }
+                std::iter::from_fn(move || q.pop()).collect::<Vec<_>>()
+            };
+            prop_assert_eq!(
+                drain_with(TieBreak::SeededPermutation(seed)),
+                drain_with(TieBreak::SeededPermutation(seed))
+            );
         }
 
         /// len() equals pushes minus pops at every step.

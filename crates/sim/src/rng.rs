@@ -145,8 +145,9 @@ impl SimRng {
     }
 }
 
-/// SplitMix64-style avalanche mixer used for seed derivation.
-fn mix(a: u64, b: u64) -> u64 {
+/// SplitMix64-style avalanche mixer used for seed derivation and for the
+/// event queue's seeded tie-break permutation.
+pub(crate) fn mix(a: u64, b: u64) -> u64 {
     let mut z = a ^ b.wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
