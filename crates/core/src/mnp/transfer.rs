@@ -103,6 +103,7 @@ impl Mnp {
                         // stays set, so the normal query/update recovery
                         // re-requests the packet.
                         self.stats.write_faults += 1;
+                        ctx.note_eeprom_write_failed(d.seg, d.pkt);
                     }
                 }
                 self.arm_dl_timeout(ctx);
@@ -128,6 +129,7 @@ impl Mnp {
                         // Write fault: keep the bit set and the deadline
                         // armed; the next repair round retries the packet.
                         self.stats.write_faults += 1;
+                        ctx.note_eeprom_write_failed(d.seg, d.pkt);
                         self.arm_update_timeout(ctx);
                     }
                 }

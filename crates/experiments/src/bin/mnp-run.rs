@@ -9,6 +9,11 @@
 //!                [--check-invariants]
 //!        mnp-run scale [--seed N] [--segments N] [--out PATH]
 //!                      [--grids RxC,RxC,...]
+//!                      [--history PATH] [--compare]
+//!        mnp-run profile [--rows N] [--cols N] [--segments N] [--seed N]
+//!                        [--stride N] [--sample-ms MS] [--top N]
+//!                        [--out PATH] [--series PATH] [--timeline PATH]
+//!        mnp-run report OLD NEW
 //!        mnp-run chaos [--seed N] [--grid N] [--crashes A,B,...]
 //!                      [--flaps A,B,...]
 //!        mnp-run fuzz [--runs N] [--seed N] [--policy fifo|permute]
@@ -46,16 +51,34 @@
 //! allocator so the benchmark can prove the radio hot path allocates
 //! nothing in steady state; the counting is two relaxed atomic increments
 //! per allocation and does not perturb the measured wall times
-//! meaningfully.
+//! meaningfully. With `--history PATH` each row is also appended to a
+//! JSONL history file, and `--compare` first checks the fresh rows
+//! against the last matching history row, exiting non-zero when
+//! throughput regressed by more than 10% or the steady-state hot path
+//! started allocating (DESIGN.md §12).
+//!
+//! `mnp-run profile` runs one seeded dissemination with the kernel span
+//! profiler enabled (`mnp_sim::profile`) and a time-series sampler
+//! attached, then prints the self-time table naming the hottest phases.
+//! `--out` writes the schema-versioned profile JSON, `--series` the
+//! sampler's JSONL rows, and `--timeline` a Chrome trace with the
+//! sampler's gauges merged in as Perfetto counter tracks.
+//!
+//! `mnp-run report` diffs two such JSON documents — two `BENCH_scale.json`
+//! files or two profile files — pairing rows by grid or by phase.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use mnp_experiments::{fuzz, resilience, scale, GridExperiment, RunOutcome};
+use mnp_experiments::{fuzz, report, resilience, scale, GridExperiment, RunOutcome};
 use mnp_net::Observer;
-use mnp_obs::{InvariantMonitor, JsonlLogger, MetricsRegistry, Shared, TimelineExporter};
+use mnp_obs::{
+    InvariantMonitor, JsonlLogger, MetricsRegistry, ProfileReport, Shared, TimeSeriesSampler,
+    TimelineExporter,
+};
 use mnp_radio::{NodeId, PowerLevel};
+use mnp_sim::{profile, SimDuration};
 use mnp_trace::{render_heatmap, render_parent_map};
 
 /// [`System`] plus cumulative allocation counters, for `mnp-run scale`.
@@ -175,7 +198,7 @@ impl Args {
     }
 }
 
-const USAGE: &str = "Usage: mnp-run [--rows N] [--cols N] [--spacing FT] [--segments N]\n               [--power LEVEL] [--seed N] [--seeds A,B,...]\n               [--protocol mnp|deluge]\n               [--capture] [--heatmap] [--parents]\n               [--events PATH] [--metrics PATH] [--timeline PATH]\n               [--check-invariants]\n       mnp-run scale [--seed N] [--segments N] [--out PATH]\n                     [--grids RxC,RxC,...]\n       mnp-run chaos [--seed N] [--grid N] [--crashes A,B,...]\n                     [--flaps A,B,...]\n       mnp-run fuzz [--runs N] [--seed N] [--policy fifo|permute]\n                    [--shrink-budget N] [--out PATH]\n       mnp-run repro PATH";
+const USAGE: &str = "Usage: mnp-run [--rows N] [--cols N] [--spacing FT] [--segments N]\n               [--power LEVEL] [--seed N] [--seeds A,B,...]\n               [--protocol mnp|deluge]\n               [--capture] [--heatmap] [--parents]\n               [--events PATH] [--metrics PATH] [--timeline PATH]\n               [--check-invariants]\n       mnp-run scale [--seed N] [--segments N] [--out PATH]\n                     [--grids RxC,RxC,...]\n                     [--history PATH] [--compare]\n       mnp-run profile [--rows N] [--cols N] [--segments N] [--seed N]\n                       [--stride N] [--sample-ms MS] [--top N]\n                       [--out PATH] [--series PATH] [--timeline PATH]\n       mnp-run report OLD NEW\n       mnp-run chaos [--seed N] [--grid N] [--crashes A,B,...]\n                     [--flaps A,B,...]\n       mnp-run fuzz [--runs N] [--seed N] [--policy fifo|permute]\n                    [--shrink-budget N] [--out PATH]\n       mnp-run repro PATH";
 
 fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String>
 where
@@ -187,6 +210,24 @@ where
 fn main() -> ExitCode {
     if std::env::args().nth(1).as_deref() == Some("scale") {
         return match run_scale(std::env::args().skip(2)) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if std::env::args().nth(1).as_deref() == Some("profile") {
+        return match run_profile(std::env::args().skip(2)) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if std::env::args().nth(1).as_deref() == Some("report") {
+        return match run_report(std::env::args().skip(2)) {
             Ok(code) => code,
             Err(msg) => {
                 eprintln!("{msg}");
@@ -323,6 +364,8 @@ fn run_scale(mut it: impl Iterator<Item = String>) -> Result<ExitCode, String> {
     let mut seed = 42u64;
     let mut segments = 1u16;
     let mut out_path = String::from("BENCH_scale.json");
+    let mut history_path: Option<String> = None;
+    let mut compare = false;
     let mut grids: Vec<(usize, usize)> = scale::DEFAULT_GRIDS.to_vec();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
@@ -330,6 +373,8 @@ fn run_scale(mut it: impl Iterator<Item = String>) -> Result<ExitCode, String> {
             "--seed" => seed = parse(&value("--seed")?)?,
             "--segments" => segments = parse(&value("--segments")?)?,
             "--out" => out_path = value("--out")?,
+            "--history" => history_path = Some(value("--history")?),
+            "--compare" => compare = true,
             "--grids" => {
                 grids = value("--grids")?
                     .split(',')
@@ -362,13 +407,157 @@ fn run_scale(mut it: impl Iterator<Item = String>) -> Result<ExitCode, String> {
     std::fs::write(&out_path, scale::render_json(&measurements))
         .map_err(|e| format!("cannot write {out_path}: {e}"))?;
     println!("wrote {out_path}");
+
+    // Compare against the history *before* appending the fresh rows, so
+    // the baseline is the previous run, not this one.
+    let mut regressed = false;
+    if compare {
+        let path = history_path.as_deref().unwrap_or("BENCH_history.jsonl");
+        let history = std::fs::read_to_string(path).unwrap_or_default();
+        for m in &measurements {
+            let msgs = report::history_regressions(&history, m, report::REGRESSION_THRESHOLD_PCT);
+            for msg in &msgs {
+                eprintln!("regression: {msg}");
+            }
+            regressed |= !msgs.is_empty();
+        }
+        if !regressed {
+            println!(
+                "compare: no regression vs {path} (threshold {:.0}% events/s)",
+                report::REGRESSION_THRESHOLD_PCT
+            );
+        }
+    }
+    if let Some(path) = &history_path {
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("cannot open {path}: {e}"))?;
+        for m in &measurements {
+            file.write_all(scale::render_history_row(m).as_bytes())
+                .map_err(|e| format!("cannot append to {path}: {e}"))?;
+        }
+        println!("appended {} rows -> {path}", measurements.len());
+    }
     Ok(
-        if measurements.iter().all(|m| m.completed) && steady_clean {
+        if measurements.iter().all(|m| m.completed) && steady_clean && !regressed {
             ExitCode::SUCCESS
         } else {
             ExitCode::FAILURE
         },
     )
+}
+
+/// `mnp-run profile`: one seeded run with the kernel span profiler and
+/// the time-series sampler attached (DESIGN.md §12).
+fn run_profile(mut it: impl Iterator<Item = String>) -> Result<ExitCode, String> {
+    let mut rows = 20usize;
+    let mut cols = 20usize;
+    let mut segments = 1u16;
+    let mut seed = 42u64;
+    let mut stride = mnp_sim::profile::DEFAULT_STRIDE;
+    let mut sample_ms = 500u64;
+    let mut top = 5usize;
+    let mut out_path: Option<String> = None;
+    let mut series_path: Option<String> = None;
+    let mut timeline_path: Option<String> = None;
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--rows" => rows = parse(&value("--rows")?)?,
+            "--cols" => cols = parse(&value("--cols")?)?,
+            "--segments" => segments = parse(&value("--segments")?)?,
+            "--seed" => seed = parse(&value("--seed")?)?,
+            "--stride" => stride = parse(&value("--stride")?)?,
+            "--sample-ms" => sample_ms = parse(&value("--sample-ms")?)?,
+            "--top" => top = parse(&value("--top")?)?,
+            "--out" => out_path = Some(value("--out")?),
+            "--series" => series_path = Some(value("--series")?),
+            "--timeline" => timeline_path = Some(value("--timeline")?),
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if sample_ms == 0 {
+        return Err("--sample-ms must be positive".into());
+    }
+
+    let scenario = GridExperiment::new(rows, cols, 10.0)
+        .segments(segments)
+        .seed(seed);
+    println!(
+        "{} | image {} | profile stride {} | sample every {} ms",
+        scenario.grid(),
+        scenario.image().layout(),
+        stride,
+        sample_ms
+    );
+
+    let sampler = Shared::new(
+        TimeSeriesSampler::new(SimDuration::from_millis(sample_ms), 4096)
+            .with_alloc_counters(alloc_counters),
+    );
+    let timeline = timeline_path
+        .as_ref()
+        .map(|_| Shared::new(TimelineExporter::new()));
+    let mut observers: Vec<Box<dyn Observer>> = Vec::new();
+    if let Some(tl) = &timeline {
+        observers.push(Box::new(tl.clone()));
+    }
+
+    profile::reset();
+    profile::set_stride(stride);
+    profile::set_enabled(true);
+    let start = std::time::Instant::now();
+    let out = scenario.run_mnp_sampled(|_| {}, observers, Some(sampler.clone()));
+    let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    profile::set_enabled(false);
+
+    print!("{out}");
+    let rep = ProfileReport::capture(wall_ns);
+    print!("{}", rep.render_table(top));
+    println!("series: {} samples", sampler.borrow().len());
+
+    if let Some(path) = &out_path {
+        std::fs::write(path, rep.dump_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("profile: wrote {path}");
+    }
+    if let Some(path) = &series_path {
+        sampler
+            .borrow()
+            .write_to(path)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("series: wrote {path}");
+    }
+    if let (Some(path), Some(tl)) = (&timeline_path, &timeline) {
+        std::fs::write(path, tl.borrow().dump_json_with_counters(&sampler.borrow()))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("timeline: wrote {path}");
+    }
+    Ok(if out.completed {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("dissemination did not complete before the deadline");
+        ExitCode::FAILURE
+    })
+}
+
+/// `mnp-run report`: diffs two bench/profile JSON documents.
+fn run_report(mut it: impl Iterator<Item = String>) -> Result<ExitCode, String> {
+    let old_path = it
+        .next()
+        .ok_or_else(|| format!("report needs OLD NEW\n{USAGE}"))?;
+    let new_path = it
+        .next()
+        .ok_or_else(|| format!("report needs OLD NEW\n{USAGE}"))?;
+    let old =
+        std::fs::read_to_string(&old_path).map_err(|e| format!("cannot read {old_path}: {e}"))?;
+    let new =
+        std::fs::read_to_string(&new_path).map_err(|e| format!("cannot read {new_path}: {e}"))?;
+    print!("{}", report::diff(&old, &new)?);
+    Ok(ExitCode::SUCCESS)
 }
 
 /// `mnp-run chaos`: the transient-fault (crash–restart + link-flap) sweep.

@@ -43,6 +43,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fuzz;
+pub mod report;
 pub mod resilience;
 pub mod runner;
 pub mod scale;

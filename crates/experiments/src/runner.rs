@@ -5,7 +5,7 @@ use std::fmt;
 use mnp::{Mnp, MnpConfig};
 use mnp_baselines::{Deluge, DelugeConfig};
 use mnp_net::{FaultPlan, Network, NetworkBuilder, Observer, Protocol};
-use mnp_obs::InvariantMonitor;
+use mnp_obs::{InvariantMonitor, Shared, TimeSeriesSampler};
 use mnp_radio::{NodeId, PowerLevel};
 use mnp_sim::{SimRng, SimTime, TieBreak};
 use mnp_storage::{ImageLayout, ProgramId, ProgramImage};
@@ -95,6 +95,11 @@ impl GridExperiment {
         self
     }
 
+    /// The same-instant tie-break policy the scenario's queue will use.
+    pub fn tie_break_policy(&self) -> TieBreak {
+        self.tie_break
+    }
+
     /// Sets the transmission power level of every node.
     pub fn power(mut self, power: PowerLevel) -> Self {
         self.power = power;
@@ -171,11 +176,26 @@ impl GridExperiment {
         tweak: impl Fn(&mut MnpConfig),
         observers: Vec<Box<dyn Observer>>,
     ) -> RunOutcome {
+        self.run_mnp_sampled(tweak, observers, None)
+    }
+
+    /// Runs MNP with observers plus an optional time-series sampler fed
+    /// kernel gauges (queue depth, event rate) on its sim-time cadence.
+    ///
+    /// The sampler rides outside the scenario struct (it is a `Shared`
+    /// handle, not `Send`) so scenarios stay fan-out-able across threads;
+    /// keep a clone to read the series back after the run.
+    pub fn run_mnp_sampled(
+        &self,
+        tweak: impl Fn(&mut MnpConfig),
+        observers: Vec<Box<dyn Observer>>,
+        sampler: Option<Shared<TimeSeriesSampler>>,
+    ) -> RunOutcome {
         let mut cfg = MnpConfig::for_image(&self.image);
         tweak(&mut cfg);
         let base = self.base;
         let image = self.image.clone();
-        let mut net = self.build_network(observers, |id, _| {
+        let mut net = self.build_network(observers, sampler, |id, _| {
             if id == base {
                 Mnp::base_station(cfg.clone(), &image)
             } else {
@@ -212,7 +232,7 @@ impl GridExperiment {
         tweak(&mut cfg);
         let base = self.base;
         let image = self.image.clone();
-        let mut net = self.build_network(observers, |id, _| {
+        let mut net = self.build_network(observers, None, |id, _| {
             if id == base {
                 Deluge::base_station(cfg.clone(), &image)
             } else {
@@ -255,7 +275,12 @@ impl GridExperiment {
         })
     }
 
-    fn build_network<P, F>(&self, observers: Vec<Box<dyn Observer>>, make: F) -> Network<P>
+    fn build_network<P, F>(
+        &self,
+        observers: Vec<Box<dyn Observer>>,
+        sampler: Option<Shared<TimeSeriesSampler>>,
+        make: F,
+    ) -> Network<P>
     where
         P: Protocol,
         F: FnMut(NodeId, &mut SimRng) -> P,
@@ -284,6 +309,9 @@ impl GridExperiment {
         }
         for obs in observers {
             builder = builder.observer(obs);
+        }
+        if let Some(sampler) = sampler {
+            builder = builder.timeseries(sampler);
         }
         builder.build(make)
     }

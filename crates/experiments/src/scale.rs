@@ -21,13 +21,43 @@ use std::fmt;
 use std::time::Instant;
 
 use mnp_radio::{Frame, Medium, NodeId, TxOutcome, MAX_PAYLOAD_BYTES};
-use mnp_sim::{SimRng, SimTime};
+use mnp_sim::{SimRng, SimTime, TieBreak};
 use mnp_topology::{GridSpec, TopologyBuilder};
 
 use crate::runner::GridExperiment;
 
 /// Cumulative `(allocations, bytes)` reported by the process allocator.
 pub type AllocCounter<'a> = &'a dyn Fn() -> (u64, u64);
+
+/// Version of the `BENCH_scale.json` / `BENCH_history.jsonl` row schema.
+///
+/// v1 was the original unversioned document; v2 adds `schema_version`,
+/// `git` (the `git describe` of the measured tree) and `tie_break` (the
+/// queue's same-instant policy) to every row so history lines stay
+/// self-describing as the benchmark evolves.
+pub const SCALE_SCHEMA_VERSION: u64 = 2;
+
+/// The measured tree's `git describe --always --dirty`, or `"unknown"`
+/// when the benchmark runs outside a git checkout (or without git).
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Stable label for a tie-break policy, as recorded in benchmark rows.
+pub fn tie_break_label(policy: TieBreak) -> String {
+    match policy {
+        TieBreak::Fifo => "fifo".into(),
+        TieBreak::SeededPermutation(seed) => format!("permute({seed})"),
+    }
+}
 
 /// The default benchmark grids: the paper's simulation grid and a 6×
 /// larger stress grid.
@@ -47,6 +77,12 @@ pub const STEADY_STATE_ROUNDS: u64 = 4_096;
 /// isolated medium hot-path allocation check.
 #[derive(Clone, Debug)]
 pub struct ScaleMeasurement {
+    /// Row schema version ([`SCALE_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// `git describe` of the measured tree (or `"unknown"`).
+    pub git: String,
+    /// Same-instant tie-break policy label (see [`tie_break_label`]).
+    pub tie_break: String,
     /// Grid rows.
     pub rows: usize,
     /// Grid columns.
@@ -109,6 +145,9 @@ pub fn measure(
     let (steady_after, _) = alloc_counter();
 
     ScaleMeasurement {
+        schema_version: SCALE_SCHEMA_VERSION,
+        git: git_describe(),
+        tie_break: tie_break_label(scenario.tie_break_policy()),
         rows,
         cols,
         seed,
@@ -152,14 +191,28 @@ impl fmt::Display for ScaleMeasurement {
 
 /// Renders the measurements as the `BENCH_scale.json` document.
 ///
-/// Schema: `{"bench": "scale", "grids": [{"rows", "cols", "seed",
-/// "segments", "completed", "completion_s", "wall_s", "events",
-/// "events_per_sec", "run_allocs", "run_alloc_bytes",
-/// "steady_state_allocs", "steady_state_rounds"}, ...]}`.
+/// Schema (v[`SCALE_SCHEMA_VERSION`]): `{"bench": "scale",
+/// "schema_version", "grids": [{"schema_version", "git", "tie_break",
+/// "rows", "cols", "seed", "segments", "completed", "completion_s",
+/// "wall_s", "events", "events_per_sec", "run_allocs",
+/// "run_alloc_bytes", "steady_state_allocs", "steady_state_rounds"},
+/// ...]}`.
 pub fn render_json(measurements: &[ScaleMeasurement]) -> String {
-    let mut s = String::from("{\n  \"bench\": \"scale\",\n  \"grids\": [\n");
+    let mut s = String::from("{\n  \"bench\": \"scale\",\n");
+    s.push_str(&format!(
+        "  \"schema_version\": {SCALE_SCHEMA_VERSION},\n  \"grids\": [\n"
+    ));
     for (i, m) in measurements.iter().enumerate() {
         s.push_str("    {\n");
+        s.push_str(&format!(
+            "      \"schema_version\": {},\n",
+            m.schema_version
+        ));
+        s.push_str(&format!("      \"git\": \"{}\",\n", json_escaped(&m.git)));
+        s.push_str(&format!(
+            "      \"tie_break\": \"{}\",\n",
+            json_escaped(&m.tie_break)
+        ));
         s.push_str(&format!("      \"rows\": {},\n", m.rows));
         s.push_str(&format!("      \"cols\": {},\n", m.cols));
         s.push_str(&format!("      \"seed\": {},\n", m.seed));
@@ -193,6 +246,53 @@ pub fn render_json(measurements: &[ScaleMeasurement]) -> String {
     }
     s.push_str("  ]\n}\n");
     s
+}
+
+/// Escapes a string for embedding in a JSON literal. Benchmark metadata
+/// is ASCII identifiers in practice; this covers the JSON-mandatory set.
+fn json_escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one measurement as a single `BENCH_history.jsonl` line
+/// (newline-terminated), the append-mode record `mnp-run scale
+/// --history` accumulates across runs and `--compare` diffs against.
+///
+/// Key order matches the `BENCH_scale.json` row schema.
+pub fn render_history_row(m: &ScaleMeasurement) -> String {
+    format!(
+        "{{\"schema_version\":{},\"git\":\"{}\",\"tie_break\":\"{}\",\
+         \"rows\":{},\"cols\":{},\"seed\":{},\"segments\":{},\
+         \"completed\":{},\"completion_s\":{:.3},\"wall_s\":{:.4},\
+         \"events\":{},\"events_per_sec\":{:.0},\"run_allocs\":{},\
+         \"run_alloc_bytes\":{},\"steady_state_allocs\":{},\
+         \"steady_state_rounds\":{}}}\n",
+        m.schema_version,
+        json_escaped(&m.git),
+        json_escaped(&m.tie_break),
+        m.rows,
+        m.cols,
+        m.seed,
+        m.segments,
+        m.completed,
+        m.completion_s,
+        m.wall_s,
+        m.events,
+        m.events_per_sec,
+        m.run_allocs,
+        m.run_alloc_bytes,
+        m.steady_state_allocs,
+        m.steady_state_rounds,
+    )
 }
 
 /// The isolated radio-medium hot path: repeated single-frame broadcasts on
@@ -313,6 +413,9 @@ mod tests {
         let json = render_json(&[m]);
         for key in [
             "\"bench\": \"scale\"",
+            "\"schema_version\": 2",
+            "\"git\"",
+            "\"tie_break\": \"fifo\"",
             "\"rows\"",
             "\"cols\"",
             "\"seed\"",

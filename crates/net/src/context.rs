@@ -14,6 +14,7 @@ pub(crate) enum Op<M> {
     BecameSender,
     FirstHeard,
     Eeprom(u16, u16),
+    WriteFault(u16, u16),
     SegmentDone(u16),
 }
 
@@ -100,6 +101,13 @@ impl<'a, M> Context<'a, M> {
     /// EEPROM (observers check the write-once invariant on these).
     pub fn note_eeprom_write(&mut self, seg: u16, pkt: u16) {
         self.ops.push(Op::Eeprom(seg, pkt));
+    }
+
+    /// Reports that writing code packet `pkt` of segment `seg` to EEPROM
+    /// failed (a transient storage fault fired); the packet stays missing
+    /// and will be re-requested.
+    pub fn note_eeprom_write_failed(&mut self, seg: u16, pkt: u16) {
+        self.ops.push(Op::WriteFault(seg, pkt));
     }
 
     /// Reports that this node finished downloading segment `seg` (observers

@@ -1,8 +1,9 @@
 //! The deterministic event-loop runner.
 
 use mnp_energy::EnergyMeter;
-use mnp_obs::{EventKind, LossCause, ObsEvent, Observer};
+use mnp_obs::{EventKind, LossCause, ObsEvent, Observer, Shared, TimeSeriesSampler};
 use mnp_radio::{Csma, CsmaAction, CsmaConfig, Frame, LinkTable, Medium, NodeId, TxId, TxOutcome};
+use mnp_sim::profile::{self, Phase};
 use mnp_sim::{EventQueue, SimDuration, SimRng, SimTime, TieBreak};
 use mnp_trace::{MsgClass, RunTrace};
 
@@ -77,6 +78,7 @@ pub struct NetworkBuilder {
     tie_break: TieBreak,
     observers: Vec<Box<dyn Observer>>,
     faults: Option<FaultPlan>,
+    sampler: Option<Shared<TimeSeriesSampler>>,
 }
 
 impl NetworkBuilder {
@@ -90,6 +92,7 @@ impl NetworkBuilder {
             tie_break: TieBreak::Fifo,
             observers: Vec::new(),
             faults: None,
+            sampler: None,
         }
     }
 
@@ -121,6 +124,20 @@ impl NetworkBuilder {
     /// [`mnp_obs::Shared`] to keep a handle for post-run readback.
     pub fn observer(mut self, obs: impl Observer + 'static) -> Self {
         self.observers.push(Box::new(obs));
+        self
+    }
+
+    /// Attaches a time-series sampler: the run loop snapshots kernel
+    /// gauges (queue depth, events processed) into it on the sampler's
+    /// sim-time cadence, and it is also attached as an observer so
+    /// per-class message counters flow into the same samples. Keep a
+    /// clone of the handle to read the series back after the run.
+    ///
+    /// Sampling reads simulation state but never mutates it, so a seeded
+    /// run stays byte-identical with or without a sampler attached.
+    pub fn timeseries(mut self, sampler: Shared<TimeSeriesSampler>) -> Self {
+        self.observers.push(Box::new(sampler.clone()));
+        self.sampler = Some(sampler);
         self
     }
 
@@ -176,6 +193,7 @@ impl NetworkBuilder {
             queue.push(SimTime::ZERO, Event::Start(NodeId::from_index(i)));
         }
         if let Some(plan) = &self.faults {
+            let _span = profile::span(Phase::FaultExpand);
             for fault in plan.faults() {
                 match *fault {
                     PlannedFault::Kill { node, at } => {
@@ -226,6 +244,12 @@ impl NetworkBuilder {
         }
         let mut medium = Medium::new(self.links, medium_rng);
         medium.set_capture(self.capture);
+        // One branch per event decides whether to sample; SimTime::MAX
+        // means "never" when no sampler is attached.
+        let next_sample_at = self
+            .sampler
+            .as_ref()
+            .map_or(SimTime::MAX, |s| SimTime::ZERO + s.borrow().interval());
         let mut net = Network {
             now: SimTime::ZERO,
             queue,
@@ -248,6 +272,8 @@ impl NetworkBuilder {
             run_ended: false,
             outcome_scratch: TxOutcome::new(),
             ops_scratch: Vec::new(),
+            sampler: self.sampler,
+            next_sample_at,
         };
         // Report each node's initial state so timelines start at t = 0.
         if !net.observers.is_empty() {
@@ -295,6 +321,11 @@ pub struct Network<P: Protocol> {
     outcome_scratch: TxOutcome<P::Msg>,
     /// Reused protocol-effect buffer, same idea for `callback`.
     ops_scratch: Vec<Op<P::Msg>>,
+    /// Time-series sampler, fed kernel gauges at its cadence.
+    sampler: Option<Shared<TimeSeriesSampler>>,
+    /// Next instant to sample at; `SimTime::MAX` when no sampler is
+    /// attached, so the run loop pays one comparison per event.
+    next_sample_at: SimTime,
 }
 
 impl<P: Protocol> Network<P> {
@@ -398,6 +429,25 @@ impl<P: Protocol> Network<P> {
             self.now = t;
             self.events_processed += 1;
             self.dispatch(ev);
+            if self.now >= self.next_sample_at {
+                self.take_sample();
+            }
+        }
+    }
+
+    /// Feeds the attached sampler one snapshot and advances the cadence
+    /// past `now` (skipping, not back-filling, intervals the simulation
+    /// jumped over).
+    fn take_sample(&mut self) {
+        let _span = profile::span(Phase::Sample);
+        let Some(sampler) = &self.sampler else {
+            return;
+        };
+        let mut s = sampler.borrow_mut();
+        s.record(self.now, self.queue.len(), self.events_processed);
+        let interval = s.interval();
+        while self.next_sample_at <= self.now {
+            self.next_sample_at += interval;
         }
     }
 
@@ -419,6 +469,12 @@ impl<P: Protocol> Network<P> {
             self.meters[i].eeprom_reads = ops.line_reads;
             self.meters[i].eeprom_writes = ops.line_writes;
             self.trace.set_active_radio(node, art);
+            // Physical-layer counters never flow through the event stream;
+            // hand each observer a snapshot alongside the meters.
+            let stats = self.medium.stats(node);
+            for obs in &mut self.observers {
+                obs.on_medium_stats(node, &stats);
+            }
         }
         // Close the run exactly once: pads windowed series, flushes
         // timelines, snapshots gauges. Later calls only refresh meters.
@@ -438,6 +494,7 @@ impl<P: Protocol> Network<P> {
             node,
             kind,
         };
+        let _span = profile::span(Phase::Observe);
         Observer::on_event(&mut self.trace, &ev);
         for obs in &mut self.observers {
             obs.on_event(&ev);
@@ -455,6 +512,7 @@ impl<P: Protocol> Network<P> {
     }
 
     fn dispatch(&mut self, ev: Event) {
+        let _span = profile::span(Phase::Dispatch);
         if let Some(node) = event_node(&ev) {
             if self.dead[node.index()] {
                 // Fail-stopped nodes are inert; their TxEnd event is the
@@ -693,7 +751,10 @@ impl<P: Protocol> Network<P> {
         // Collect effects into the pooled buffer instead of a fresh Vec.
         debug_assert!(self.ops_scratch.is_empty());
         ctx.ops = std::mem::take(&mut self.ops_scratch);
-        f(&mut self.protocols[i], &mut ctx);
+        {
+            let _span = profile::span(Phase::Protocol);
+            f(&mut self.protocols[i], &mut ctx);
+        }
         let mut ops = std::mem::take(&mut ctx.ops);
         if watched {
             let after = self.protocols[i].state_label();
@@ -755,6 +816,9 @@ impl<P: Protocol> Network<P> {
                 Op::BecameSender => self.emit(node, EventKind::BecameSender),
                 Op::FirstHeard => self.emit(node, EventKind::FirstHeard),
                 Op::Eeprom(seg, pkt) => self.emit_obs(node, EventKind::EepromWrite { seg, pkt }),
+                Op::WriteFault(seg, pkt) => {
+                    self.emit_obs(node, EventKind::EepromWriteFailed { seg, pkt });
+                }
                 Op::SegmentDone(seg) => self.emit_obs(node, EventKind::SegmentDone { seg }),
             }
         }

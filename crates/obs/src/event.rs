@@ -152,6 +152,14 @@ pub enum EventKind {
         /// Packet index within the segment.
         pkt: u16,
     },
+    /// A code-packet EEPROM write failed (transient storage fault armed by
+    /// the fault model); the packet stays missing and must be re-requested.
+    EepromWriteFailed {
+        /// Segment of the packet whose write failed.
+        seg: u16,
+        /// Packet index within the segment.
+        pkt: u16,
+    },
     /// The node finished downloading a whole segment.
     SegmentDone {
         /// The completed segment.

@@ -147,6 +147,11 @@ impl Observer for JsonlLogger {
                     .u("seg", seg as u64)
                     .u("pkt", pkt as u64);
             }),
+            EventKind::EepromWriteFailed { seg, pkt } => self.line(ev, |o| {
+                o.s("ev", "eeprom_write_failed")
+                    .u("seg", seg as u64)
+                    .u("pkt", pkt as u64);
+            }),
             EventKind::SegmentDone { seg } => self.line(ev, |o| {
                 o.s("ev", "segment_done").u("seg", seg as u64);
             }),
@@ -267,6 +272,7 @@ mod tests {
             },
             EventKind::Wake,
             EventKind::EepromWrite { seg: 1, pkt: 17 },
+            EventKind::EepromWriteFailed { seg: 1, pkt: 18 },
             EventKind::SegmentDone { seg: 1 },
             EventKind::Completed,
             EventKind::Parent { parent: NodeId(0) },
@@ -287,7 +293,7 @@ mod tests {
         for k in kinds {
             log.on_event(&ev(k));
         }
-        assert_eq!(log.events(), 16);
+        assert_eq!(log.events(), 17);
         for line in log.as_str().lines() {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
             assert!(line.contains(r#""ev":"#), "{line}");

@@ -17,7 +17,14 @@
 //! - [`InvariantMonitor`] — online protocol-safety checking that fails
 //!   fast with the offending event context;
 //! - [`TimelineExporter`] — per-node state residency as a Chrome trace
-//!   (`chrome://tracing` / Perfetto).
+//!   (`chrome://tracing` / Perfetto);
+//! - [`TimeSeriesSampler`] — ring-buffered snapshots of simulator health
+//!   (queue depth, event rate, per-class counters) on a sim-time cadence,
+//!   exported as JSONL rows or Perfetto counter tracks.
+//!
+//! The simulator's *self*-observability — where the kernel's own wall
+//! clock goes — lives in [`ProfileReport`], the reporting layer over the
+//! span profiler in `mnp_sim::profile`.
 //!
 //! `mnp_trace::RunTrace` is itself driven as an observer (see
 //! [`trace_adapter`]), so the legacy figure metrics and this layer share
@@ -35,8 +42,10 @@ mod json;
 mod jsonl;
 mod metrics;
 mod observer;
+mod profiler;
 mod state_label;
 mod timeline;
+mod timeseries;
 pub mod trace_adapter;
 
 pub use event::{EventKind, LossCause, MsgDetail, ObsEvent};
@@ -44,5 +53,7 @@ pub use invariants::InvariantMonitor;
 pub use jsonl::JsonlLogger;
 pub use metrics::{Histogram, MetricsRegistry, NodeMetrics};
 pub use observer::{Observer, Shared};
+pub use profiler::{ProfileReport, ProfileRow, PROFILE_SCHEMA_VERSION};
 pub use state_label::StateLabel;
 pub use timeline::TimelineExporter;
+pub use timeseries::{Sample, TimeSeriesSampler};

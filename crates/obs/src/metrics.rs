@@ -3,6 +3,7 @@
 use crate::event::{EventKind, LossCause, ObsEvent};
 use crate::json::Obj;
 use crate::observer::Observer;
+use mnp_radio::{MediumStats, NodeId};
 use mnp_sim::SimTime;
 use mnp_trace::MsgClass;
 use std::io;
@@ -115,6 +116,8 @@ pub struct NodeMetrics {
     pub sleep_us: u64,
     /// EEPROM packet writes.
     pub eeprom_writes: u64,
+    /// EEPROM packet writes that failed (transient storage faults hit).
+    pub write_faults: u64,
     /// Segments completed.
     pub segments_done: u64,
     /// Labelled protocol state transitions (initial state not counted).
@@ -127,6 +130,9 @@ pub struct NodeMetrics {
     pub link_faults: u64,
     /// Transient EEPROM write faults armed on this node.
     pub storage_faults: u64,
+    /// Physical-layer counters snapshotted from the medium at meter
+    /// finalisation (all zero if the network never finalised).
+    pub medium: MediumStats,
     asleep_since: Option<u64>,
 }
 
@@ -225,12 +231,22 @@ impl MetricsRegistry {
                 .u("sleeps", n.sleeps)
                 .u("sleep_us", n.sleep_us)
                 .u("eeprom_writes", n.eeprom_writes)
+                .u("write_faults", n.write_faults)
                 .u("segments_done", n.segments_done)
                 .u("state_changes", n.state_changes)
                 .b("failed", n.failed)
                 .u("restarts", n.restarts)
                 .u("link_faults", n.link_faults)
                 .u("storage_faults", n.storage_faults);
+            let mut medium = String::new();
+            {
+                let mut m = Obj::new(&mut medium);
+                for (name, value) in n.medium.fields() {
+                    m.u(name, value);
+                }
+                m.end();
+            }
+            o.raw("medium", &medium);
             o.end();
         }
         out.push_str("],\n\"aggregate\":");
@@ -266,6 +282,10 @@ impl MetricsRegistry {
                 .u(
                     "eeprom_writes",
                     self.nodes.iter().map(|n| n.eeprom_writes).sum(),
+                )
+                .u(
+                    "write_faults",
+                    self.nodes.iter().map(|n| n.write_faults).sum(),
                 )
                 .u("nodes_asleep_at_end", asleep_at_end as u64)
                 .u("run_end_us", self.run_end_us.unwrap_or(0))
@@ -316,6 +336,7 @@ impl Observer for MetricsRegistry {
                 }
             }
             EventKind::EepromWrite { .. } => n.eeprom_writes += 1,
+            EventKind::EepromWriteFailed { .. } => n.write_faults += 1,
             EventKind::SegmentDone { .. } => n.segments_done += 1,
             EventKind::NodeFailed => n.failed = true,
             EventKind::NodeRestarted => {
@@ -334,6 +355,10 @@ impl Observer for MetricsRegistry {
             | EventKind::BecameSender
             | EventKind::FirstHeard => {}
         }
+    }
+
+    fn on_medium_stats(&mut self, node: NodeId, stats: &MediumStats) {
+        self.slot(node.index()).medium = *stats;
     }
 
     fn on_run_end(&mut self, at: SimTime) {
@@ -448,6 +473,52 @@ mod tests {
         assert!(s.contains("[0,1]"), "zero bucket: {s}");
         assert!(s.contains("[1,2]"), "1-bit bucket: {s}");
         assert!(s.contains("[1023,1]"), "10-bit bucket: {s}");
+    }
+
+    #[test]
+    fn every_medium_stats_field_appears_in_the_snapshot() {
+        let mut m = MetricsRegistry::new();
+        let stats = MediumStats {
+            frames_sent: 1,
+            frames_received: 2,
+            rx_locks: 3,
+            collisions: 4,
+            rx_corrupted: 5,
+            bit_error_losses: 6,
+            rx_aborted: 7,
+        };
+        m.on_medium_stats(NodeId(0), &stats);
+        assert_eq!(m.node(0).unwrap().medium, stats);
+        let dump = m.dump_json();
+        for (i, (name, value)) in stats.fields().into_iter().enumerate() {
+            assert_eq!(value, i as u64 + 1, "fields() must preserve values");
+            assert!(
+                dump.contains(&format!("\"{name}\":{value}")),
+                "MediumStats field {name} missing from snapshot: {dump}"
+            );
+        }
+        // fields() itself must stay exhaustive: a new counter that is not
+        // listed there would silently vanish from every snapshot.
+        let MediumStats {
+            frames_sent: _,
+            frames_received: _,
+            rx_locks: _,
+            collisions: _,
+            rx_corrupted: _,
+            bit_error_losses: _,
+            rx_aborted: _,
+        } = stats;
+        assert_eq!(stats.fields().len(), 7);
+    }
+
+    #[test]
+    fn write_faults_count_per_node_and_in_aggregate() {
+        let mut m = MetricsRegistry::new();
+        m.on_event(&ev(3, 10, EventKind::EepromWriteFailed { seg: 0, pkt: 4 }));
+        m.on_event(&ev(3, 20, EventKind::EepromWriteFailed { seg: 0, pkt: 4 }));
+        assert_eq!(m.node(3).unwrap().write_faults, 2);
+        let dump = m.dump_json();
+        assert!(dump.contains("\"write_faults\":2"), "{dump}");
     }
 
     #[test]

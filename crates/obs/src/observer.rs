@@ -1,6 +1,7 @@
 //! The observer trait and the shared-handle adapter.
 
 use crate::event::ObsEvent;
+use mnp_radio::{MediumStats, NodeId};
 use mnp_sim::SimTime;
 use std::cell::{Ref, RefCell, RefMut};
 use std::fmt;
@@ -23,6 +24,14 @@ pub trait Observer: fmt::Debug {
     fn on_run_end(&mut self, at: SimTime) {
         let _ = at;
     }
+
+    /// Delivers one node's physical-layer counters when the network
+    /// finalises its meters. These live in the medium, not the event
+    /// stream, so they arrive through this side channel rather than as
+    /// [`ObsEvent`]s; the default implementation ignores them.
+    fn on_medium_stats(&mut self, node: NodeId, stats: &MediumStats) {
+        let _ = (node, stats);
+    }
 }
 
 impl<T: Observer + ?Sized> Observer for Box<T> {
@@ -32,6 +41,10 @@ impl<T: Observer + ?Sized> Observer for Box<T> {
 
     fn on_run_end(&mut self, at: SimTime) {
         (**self).on_run_end(at);
+    }
+
+    fn on_medium_stats(&mut self, node: NodeId, stats: &MediumStats) {
+        (**self).on_medium_stats(node, stats);
     }
 }
 
@@ -92,6 +105,10 @@ impl<T: Observer> Observer for Shared<T> {
 
     fn on_run_end(&mut self, at: SimTime) {
         self.0.borrow_mut().on_run_end(at);
+    }
+
+    fn on_medium_stats(&mut self, node: NodeId, stats: &MediumStats) {
+        self.0.borrow_mut().on_medium_stats(node, stats);
     }
 }
 

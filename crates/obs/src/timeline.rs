@@ -53,6 +53,26 @@ impl TimelineExporter {
 
     /// Renders the timeline as a Chrome trace JSON document.
     pub fn dump_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        self.append_trace_events(&mut out, &mut first);
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+
+    /// Renders the timeline with the sampler's gauges merged in as
+    /// Perfetto counter tracks (`"ph":"C"`), so queue depth and event
+    /// rate plot above the per-node state spans.
+    pub fn dump_json_with_counters(&self, samples: &crate::TimeSeriesSampler) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        self.append_trace_events(&mut out, &mut first);
+        samples.append_counter_events(&mut out, &mut first);
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+
+    fn append_trace_events(&self, out: &mut String, first: &mut bool) {
         let mut tids: Vec<u16> = self
             .spans
             .iter()
@@ -61,8 +81,6 @@ impl TimelineExporter {
             .collect();
         tids.sort_unstable();
         tids.dedup();
-        let mut out = String::from("{\"traceEvents\":[");
-        let mut first = true;
         let sep = |out: &mut String, first: &mut bool| {
             if !*first {
                 out.push(',');
@@ -71,7 +89,7 @@ impl TimelineExporter {
             out.push('\n');
         };
         for tid in &tids {
-            sep(&mut out, &mut first);
+            sep(out, first);
             let _ = write!(
                 out,
                 "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
@@ -79,9 +97,9 @@ impl TimelineExporter {
             );
         }
         for (tid, label, start, dur) in &self.spans {
-            sep(&mut out, &mut first);
+            sep(out, first);
             out.push_str("{\"name\":");
-            push_str_literal(&mut out, label);
+            push_str_literal(out, label);
             let _ = write!(
                 out,
                 ",\"cat\":\"state\",\"ph\":\"X\",\"ts\":{start},\"dur\":{dur},\
@@ -89,17 +107,15 @@ impl TimelineExporter {
             );
         }
         for (tid, label, ts) in &self.markers {
-            sep(&mut out, &mut first);
+            sep(out, first);
             out.push_str("{\"name\":");
-            push_str_literal(&mut out, label);
+            push_str_literal(out, label);
             let _ = write!(
                 out,
                 ",\"cat\":\"milestone\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\
                  \"pid\":0,\"tid\":{tid}}}"
             );
         }
-        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
-        out
     }
 
     /// Writes the Chrome trace to `path`.

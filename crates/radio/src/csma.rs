@@ -12,6 +12,7 @@
 
 use std::collections::VecDeque;
 
+use mnp_sim::profile::{self, Phase};
 use mnp_sim::{SimDuration, SimRng};
 
 use crate::packet::Frame;
@@ -129,6 +130,7 @@ impl<P> Csma<P> {
     /// contention round; returns [`CsmaAction::Idle`] when the frame was
     /// queued behind (or dropped beyond capacity of) an ongoing round.
     pub fn enqueue(&mut self, frame: Frame<P>, rng: &mut SimRng) -> CsmaAction<P> {
+        let _span = profile::span(Phase::Csma);
         match self.state {
             State::Idle => {
                 debug_assert!(self.current.is_none() && self.queue.is_empty());
@@ -158,6 +160,7 @@ impl<P> Csma<P> {
     /// Panics if the MAC was not waiting for an attempt (caller bug: stale
     /// timer not cancelled).
     pub fn attempt(&mut self, channel_busy: bool, rng: &mut SimRng) -> CsmaAction<P> {
+        let _span = profile::span(Phase::Csma);
         assert_eq!(self.state, State::Backing, "attempt without pending frame");
         if channel_busy {
             self.busy_retries += 1;
@@ -178,6 +181,7 @@ impl<P> Csma<P> {
     ///
     /// Panics if no transmission was in flight.
     pub fn tx_done(&mut self, rng: &mut SimRng) -> CsmaAction<P> {
+        let _span = profile::span(Phase::Csma);
         assert_eq!(
             self.state,
             State::Transmitting,

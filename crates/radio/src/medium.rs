@@ -4,6 +4,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
+use mnp_sim::profile::{self, Phase};
 use mnp_sim::{SimDuration, SimRng, SimTime};
 
 use crate::ids::NodeId;
@@ -165,6 +166,25 @@ pub struct MediumStats {
     /// reception lock is resolved as exactly one of delivered, corrupted,
     /// bit-error loss, or aborted.
     pub rx_aborted: u64,
+}
+
+impl MediumStats {
+    /// Every counter as a `(name, value)` pair, in declaration order.
+    ///
+    /// This is the single source of truth consumers iterate to serialise
+    /// the stats; a new field added here flows into every snapshot (the
+    /// obs metrics dump asserts it stays exhaustive).
+    pub fn fields(&self) -> [(&'static str, u64); 7] {
+        [
+            ("frames_sent", self.frames_sent),
+            ("frames_received", self.frames_received),
+            ("rx_locks", self.rx_locks),
+            ("collisions", self.collisions),
+            ("rx_corrupted", self.rx_corrupted),
+            ("bit_error_losses", self.bit_error_losses),
+            ("rx_aborted", self.rx_aborted),
+        ]
+    }
 }
 
 #[derive(Clone, Debug, Default)]
@@ -394,6 +414,7 @@ impl<P> Medium<P> {
         frame: Frame<P>,
         _now: SimTime,
     ) -> Result<TxStart, TxError> {
+        let _span = profile::span(Phase::MediumTx);
         assert_eq!(frame.src, src, "frame source must match transmitter");
         {
             let cell = &mut self.radios[src.index()];
@@ -522,6 +543,7 @@ impl<P> Medium<P> {
     ///
     /// Panics if `id` is unknown or already finished.
     pub fn finish_transmission_into(&mut self, id: TxId, _now: SimTime, out: &mut TxOutcome<P>) {
+        let _span = profile::span(Phase::MediumRx);
         let mut tx = self.active.remove(&id).expect("unknown or finished TxId");
         // The transmitter returns to listening.
         {

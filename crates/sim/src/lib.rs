@@ -18,6 +18,8 @@
 //! * **Cancellable timers** keyed by opaque handles ([`TimerQueue`]).
 //! * **Reproducible randomness** — independent per-node streams derived from
 //!   one experiment seed ([`SimRng`]).
+//! * **Self-profiling** — span-based wall-clock accounting of the kernel's
+//!   hot phases, inert unless enabled ([`profile`]).
 //!
 //! # Example
 //!
@@ -35,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod profile;
 mod queue;
 mod rng;
 mod time;

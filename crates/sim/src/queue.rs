@@ -3,6 +3,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::profile::{self, Phase};
 use crate::rng::mix;
 use crate::time::SimTime;
 
@@ -123,9 +124,13 @@ impl<E> EventQueue<E> {
     /// Scheduling in the past is allowed (the event pops immediately at its
     /// recorded timestamp); the network layer asserts monotonicity instead.
     pub fn push(&mut self, time: SimTime, event: E) {
+        let _span = profile::span(Phase::QueuePush);
         let seq = self.next_seq;
         self.next_seq += 1;
-        let key = self.tie_break.key(time, seq);
+        let key = {
+            let _span = profile::span(Phase::TieBreak);
+            self.tie_break.key(time, seq)
+        };
         self.heap.push(Entry {
             time,
             key,
@@ -137,6 +142,7 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest event, or `None` if the queue is
     /// empty. Ties pop in insertion order.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let _span = profile::span(Phase::QueuePop);
         self.heap.pop().map(|e| (e.time, e.event))
     }
 
