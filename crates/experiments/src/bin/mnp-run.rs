@@ -307,7 +307,7 @@ fn main() -> ExitCode {
         .check_invariants
         .then(|| Shared::new(InvariantMonitor::new()));
 
-    let mut observers: Vec<Box<dyn Observer>> = Vec::new();
+    let mut observers: Vec<Box<dyn Observer + Send>> = Vec::new();
     if let Some(log) = &events {
         observers.push(Box::new(log.clone()));
     }
@@ -421,6 +421,35 @@ fn run_scale(mut it: impl Iterator<Item = String>) -> Result<ExitCode, String> {
             }
             regressed |= !msgs.is_empty();
         }
+        // Within-run gate: throughput on the largest grid must hold at
+        // least SCALING_FLOOR of the base grid's, or the kernel stopped
+        // scaling and --compare fails even with no history to diff.
+        if let Some(sc) = scale::scaling_summary(&measurements) {
+            if sc.events_per_sec_ratio < scale::SCALING_FLOOR {
+                eprintln!(
+                    "regression: events/s fell {:.0}% from {}x{} to {}x{} \
+                     (ratio {:.3} < floor {:.2})",
+                    (1.0 - sc.events_per_sec_ratio) * 100.0,
+                    sc.base.0,
+                    sc.base.1,
+                    sc.top.0,
+                    sc.top.1,
+                    sc.events_per_sec_ratio,
+                    scale::SCALING_FLOOR,
+                );
+                regressed = true;
+            } else {
+                println!(
+                    "scaling: {}x{} holds {:.0}% of {}x{} events/s (floor {:.0}%)",
+                    sc.top.0,
+                    sc.top.1,
+                    sc.events_per_sec_ratio * 100.0,
+                    sc.base.0,
+                    sc.base.1,
+                    scale::SCALING_FLOOR * 100.0,
+                );
+            }
+        }
         if !regressed {
             println!(
                 "compare: no regression vs {path} (threshold {:.0}% events/s)",
@@ -502,7 +531,7 @@ fn run_profile(mut it: impl Iterator<Item = String>) -> Result<ExitCode, String>
     let timeline = timeline_path
         .as_ref()
         .map(|_| Shared::new(TimelineExporter::new()));
-    let mut observers: Vec<Box<dyn Observer>> = Vec::new();
+    let mut observers: Vec<Box<dyn Observer + Send>> = Vec::new();
     if let Some(tl) = &timeline {
         observers.push(Box::new(tl.clone()));
     }

@@ -326,7 +326,7 @@ pub fn run_scenario(sc: &FuzzScenario) -> Verdict {
 
 /// Builds and runs the scenario's network; `Err` means the scenario is
 /// structurally invalid (cannot even be built).
-fn run_once(sc: &FuzzScenario, monitor: Box<dyn Observer>) -> Result<RunData, String> {
+fn run_once(sc: &FuzzScenario, monitor: Box<dyn Observer + Send>) -> Result<RunData, String> {
     let grid = GridSpec::new(sc.rows, sc.cols, FUZZ_SPACING_FT);
     let mut topo_rng = SimRng::new(sc.seed).derive(0xdeadbeef);
     let topo = TopologyBuilder::new(grid.placement())

@@ -174,7 +174,7 @@ impl GridExperiment {
     pub fn run_mnp_observed(
         &self,
         tweak: impl Fn(&mut MnpConfig),
-        observers: Vec<Box<dyn Observer>>,
+        observers: Vec<Box<dyn Observer + Send>>,
     ) -> RunOutcome {
         self.run_mnp_sampled(tweak, observers, None)
     }
@@ -188,7 +188,7 @@ impl GridExperiment {
     pub fn run_mnp_sampled(
         &self,
         tweak: impl Fn(&mut MnpConfig),
-        observers: Vec<Box<dyn Observer>>,
+        observers: Vec<Box<dyn Observer + Send>>,
         sampler: Option<Shared<TimeSeriesSampler>>,
     ) -> RunOutcome {
         let mut cfg = MnpConfig::for_image(&self.image);
@@ -226,7 +226,7 @@ impl GridExperiment {
     pub fn run_deluge_observed(
         &self,
         tweak: impl Fn(&mut DelugeConfig),
-        observers: Vec<Box<dyn Observer>>,
+        observers: Vec<Box<dyn Observer + Send>>,
     ) -> RunOutcome {
         let mut cfg = DelugeConfig::for_image(&self.image);
         tweak(&mut cfg);
@@ -277,7 +277,7 @@ impl GridExperiment {
 
     fn build_network<P, F>(
         &self,
-        observers: Vec<Box<dyn Observer>>,
+        observers: Vec<Box<dyn Observer + Send>>,
         sampler: Option<Shared<TimeSeriesSampler>>,
         make: F,
     ) -> Network<P>

@@ -34,8 +34,10 @@ pub type AllocCounter<'a> = &'a dyn Fn() -> (u64, u64);
 /// v1 was the original unversioned document; v2 adds `schema_version`,
 /// `git` (the `git describe` of the measured tree) and `tie_break` (the
 /// queue's same-instant policy) to every row so history lines stay
-/// self-describing as the benchmark evolves.
-pub const SCALE_SCHEMA_VERSION: u64 = 2;
+/// self-describing as the benchmark evolves. v3 adds the top-level
+/// `scaling` object (base-vs-largest-grid throughput ratio; see
+/// [`scaling_summary`]).
+pub const SCALE_SCHEMA_VERSION: u64 = 3;
 
 /// The measured tree's `git describe --always --dirty`, or `"unknown"`
 /// when the benchmark runs outside a git checkout (or without git).
@@ -59,9 +61,10 @@ pub fn tie_break_label(policy: TieBreak) -> String {
     }
 }
 
-/// The default benchmark grids: the paper's simulation grid and a 6×
-/// larger stress grid.
-pub const DEFAULT_GRIDS: [(usize, usize); 2] = [(20, 20), (50, 50)];
+/// The default benchmark grids: the paper's simulation grid, a 6× larger
+/// stress grid, and a 16× grid that keeps the event queue and the arena
+/// free-lists honest at sharded-kernel scale.
+pub const DEFAULT_GRIDS: [(usize, usize); 3] = [(20, 20), (50, 50), (80, 80)];
 
 /// Minimum transmissions used to warm the medium pools before the
 /// measured window. [`measure`] raises this to one full round-robin cycle
@@ -189,6 +192,43 @@ impl fmt::Display for ScaleMeasurement {
     }
 }
 
+/// `--compare` fails when the largest grid's throughput drops below this
+/// fraction of the base (smallest) grid's — i.e. more than a 15% fall
+/// across the scale sweep. Super-linear event queues and allocation leaks
+/// show up here before they show up against history.
+pub const SCALING_FLOOR: f64 = 0.85;
+
+/// Throughput scaling between the smallest and largest grid of a sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalingSummary {
+    /// `(rows, cols)` of the base (smallest) grid.
+    pub base: (usize, usize),
+    /// `(rows, cols)` of the largest grid.
+    pub top: (usize, usize),
+    /// `top.events_per_sec / base.events_per_sec`.
+    pub events_per_sec_ratio: f64,
+    /// Whether throughput held or improved as the grid grew.
+    pub flat_or_rising: bool,
+}
+
+/// Summarises how throughput scaled from the smallest to the largest grid
+/// in the sweep. `None` when the sweep has fewer than two distinct grid
+/// sizes or the base row recorded no throughput.
+pub fn scaling_summary(measurements: &[ScaleMeasurement]) -> Option<ScalingSummary> {
+    let base = measurements.iter().min_by_key(|m| m.rows * m.cols)?;
+    let top = measurements.iter().max_by_key(|m| m.rows * m.cols)?;
+    if base.rows * base.cols == top.rows * top.cols || base.events_per_sec <= 0.0 {
+        return None;
+    }
+    let ratio = top.events_per_sec / base.events_per_sec;
+    Some(ScalingSummary {
+        base: (base.rows, base.cols),
+        top: (top.rows, top.cols),
+        events_per_sec_ratio: ratio,
+        flat_or_rising: ratio >= 1.0,
+    })
+}
+
 /// Renders the measurements as the `BENCH_scale.json` document.
 ///
 /// Schema (v[`SCALE_SCHEMA_VERSION`]): `{"bench": "scale",
@@ -196,7 +236,8 @@ impl fmt::Display for ScaleMeasurement {
 /// "rows", "cols", "seed", "segments", "completed", "completion_s",
 /// "wall_s", "events", "events_per_sec", "run_allocs",
 /// "run_alloc_bytes", "steady_state_allocs", "steady_state_rounds"},
-/// ...]}`.
+/// ...], "scaling": {"base", "top", "events_per_sec_ratio",
+/// "flat_or_rising"}}` — `scaling` is `null` for single-grid sweeps.
 pub fn render_json(measurements: &[ScaleMeasurement]) -> String {
     let mut s = String::from("{\n  \"bench\": \"scale\",\n");
     s.push_str(&format!(
@@ -244,7 +285,22 @@ pub fn render_json(measurements: &[ScaleMeasurement]) -> String {
             "    },\n"
         });
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    match scaling_summary(measurements) {
+        Some(sc) => {
+            s.push_str("  \"scaling\": {\n");
+            s.push_str(&format!("    \"base\": \"{}x{}\",\n", sc.base.0, sc.base.1));
+            s.push_str(&format!("    \"top\": \"{}x{}\",\n", sc.top.0, sc.top.1));
+            s.push_str(&format!(
+                "    \"events_per_sec_ratio\": {:.3},\n",
+                sc.events_per_sec_ratio
+            ));
+            s.push_str(&format!("    \"flat_or_rising\": {}\n", sc.flat_or_rising));
+            s.push_str("  }\n");
+        }
+        None => s.push_str("  \"scaling\": null\n"),
+    }
+    s.push_str("}\n");
     s
 }
 
@@ -305,7 +361,7 @@ pub fn render_history_row(m: &ScaleMeasurement) -> String {
 /// zero times per transmission.
 pub struct MediumHotLoop {
     medium: Medium<[u8; MAX_PAYLOAD_BYTES]>,
-    scratch: TxOutcome<[u8; MAX_PAYLOAD_BYTES]>,
+    scratch: TxOutcome,
     nodes: usize,
     next: usize,
     now: SimTime,
@@ -324,9 +380,18 @@ impl MediumHotLoop {
         for i in 0..grid.len() {
             medium.set_radio(NodeId::from_index(i), true, SimTime::ZERO);
         }
+        // Reserve the scratch to its hard upper bound (every other node
+        // hears the frame). The delivered/corrupted/missed split is
+        // random per transmission, so warm-up alone cannot guarantee the
+        // high-water capacity of each vector has been reached — and one
+        // late doubling would break the zero-alloc steady-state gate.
+        let mut scratch = TxOutcome::new();
+        scratch.delivered.reserve(grid.len());
+        scratch.corrupted.reserve(grid.len());
+        scratch.missed.reserve(grid.len());
         MediumHotLoop {
             medium,
-            scratch: TxOutcome::new(),
+            scratch,
             nodes: grid.len(),
             next: 0,
             now: SimTime::ZERO,
@@ -352,6 +417,14 @@ impl MediumHotLoop {
             .finish_transmission_into(start.id, self.now, &mut self.scratch);
         self.delivered += self.scratch.delivered.len() as u64;
         self.transmissions += 1;
+        // Release the payload so its arena slot recycles, then clear the
+        // scratch for the next round.
+        let payload = self
+            .scratch
+            .payload
+            .take()
+            .expect("frame carried a payload");
+        self.medium.release_payload(payload);
         self.scratch.clear();
     }
 
@@ -413,7 +486,7 @@ mod tests {
         let json = render_json(&[m]);
         for key in [
             "\"bench\": \"scale\"",
-            "\"schema_version\": 2",
+            "\"schema_version\": 3",
             "\"git\"",
             "\"tie_break\": \"fifo\"",
             "\"rows\"",
@@ -433,5 +506,49 @@ mod tests {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         assert!(!json.contains("},\n  ]"), "no trailing comma: {json}");
+        // A single-grid sweep has no base-vs-top comparison to record.
+        assert!(json.contains("\"scaling\": null"), "{json}");
+    }
+
+    /// A synthetic measurement with the given size and throughput; only
+    /// the fields [`scaling_summary`] reads are meaningful.
+    fn synthetic(rows: usize, cols: usize, events_per_sec: f64) -> ScaleMeasurement {
+        let mut m = measure(3, 3, 1, 42, &|| (0, 0));
+        m.rows = rows;
+        m.cols = cols;
+        m.events_per_sec = events_per_sec;
+        m
+    }
+
+    #[test]
+    fn scaling_summary_compares_smallest_to_largest() {
+        let ms = [
+            synthetic(20, 20, 2_000_000.0),
+            synthetic(50, 50, 1_800_000.0),
+            synthetic(80, 80, 1_700_000.0),
+        ];
+        let sc = scaling_summary(&ms).expect("two distinct sizes");
+        assert_eq!(sc.base, (20, 20));
+        assert_eq!(sc.top, (80, 80));
+        assert!((sc.events_per_sec_ratio - 0.85).abs() < 1e-9);
+        assert!(!sc.flat_or_rising);
+        assert!(sc.events_per_sec_ratio >= SCALING_FLOOR);
+
+        let json = render_json(&ms);
+        assert!(json.contains("\"base\": \"20x20\""), "{json}");
+        assert!(json.contains("\"top\": \"80x80\""), "{json}");
+        assert!(json.contains("\"events_per_sec_ratio\": 0.850"), "{json}");
+    }
+
+    #[test]
+    fn scaling_summary_needs_two_distinct_sizes() {
+        assert!(scaling_summary(&[]).is_none());
+        let ms = [synthetic(20, 20, 1e6), synthetic(20, 20, 2e6)];
+        assert!(scaling_summary(&ms).is_none());
+    }
+
+    #[test]
+    fn default_grids_cover_the_paper_grid_and_the_stress_grids() {
+        assert_eq!(DEFAULT_GRIDS, [(20, 20), (50, 50), (80, 80)]);
     }
 }

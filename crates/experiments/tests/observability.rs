@@ -13,7 +13,7 @@ fn scenario() -> GridExperiment {
 
 fn logged_run(sampler: Option<Shared<TimeSeriesSampler>>) -> String {
     let log = Shared::new(JsonlLogger::new());
-    let observers: Vec<Box<dyn Observer>> = vec![Box::new(log.clone())];
+    let observers: Vec<Box<dyn Observer + Send>> = vec![Box::new(log.clone())];
     let out = scenario().run_mnp_sampled(|_| {}, observers, sampler);
     assert!(out.completed, "{out}");
     let dump = log.borrow().as_str().to_string();

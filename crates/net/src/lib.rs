@@ -64,6 +64,7 @@
 mod context;
 mod fault;
 mod network;
+mod nodes;
 mod protocol;
 
 pub use context::Context;

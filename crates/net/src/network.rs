@@ -1,28 +1,29 @@
 //! The deterministic event-loop runner.
 
-use mnp_energy::EnergyMeter;
 use mnp_obs::{EventKind, LossCause, ObsEvent, Observer, Shared, TimeSeriesSampler};
-use mnp_radio::{Csma, CsmaAction, CsmaConfig, Frame, LinkTable, Medium, NodeId, TxId, TxOutcome};
+use mnp_radio::{
+    CsmaAction, CsmaBank, CsmaConfig, Frame, LinkTable, Medium, NodeId, TxId, TxOutcome,
+};
 use mnp_sim::profile::{self, Phase};
-use mnp_sim::{EventQueue, SimDuration, SimRng, SimTime, TieBreak};
-use mnp_trace::{MsgClass, RunTrace};
+use mnp_sim::{EventQueue, SimRng, SimTime, TieBreak};
+use mnp_trace::RunTrace;
 
 use crate::context::{Context, Op};
 use crate::fault::{FaultPlan, FaultPlanError, PlannedFault};
+use crate::nodes::NodeArena;
 use crate::protocol::{Protocol, WireMsg};
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 enum Event {
     Start(NodeId),
     MacAttempt(NodeId, u64),
+    /// A frame's airtime elapsed. Deliberately slim (16 bytes): airtime
+    /// comes back in the [`TxOutcome`] and the frame's class/kind are
+    /// re-derived from its payload in the arena, so the queue's hottest
+    /// event stays two words.
     TxEnd {
         node: NodeId,
         tx: TxId,
-        airtime: SimDuration,
-        /// Class/kind of the frame on the air, echoed into drop events so
-        /// observers can attribute the loss without re-reading the payload.
-        class: MsgClass,
-        kind: &'static str,
     },
     Timer(NodeId, u64),
     Wake(NodeId, u64),
@@ -33,19 +34,26 @@ enum Event {
     /// Reboot of a crashed node: fresh RAM state, persistent EEPROM.
     Restart(NodeId),
     /// Fault-model link mutation: replace the BER of `from -> to`.
-    /// `restore` only selects which observer event is emitted.
-    SetLink {
-        from: NodeId,
-        to: NodeId,
-        ber: f64,
-        restore: bool,
-    },
+    /// Boxed so this cold, fault-plan-only variant does not widen the
+    /// whole enum — millions of `Event`s sit in the queue, and every
+    /// byte of entry size is queue memory traffic.
+    SetLink(Box<SetLinkEvent>),
     /// Fault-model storage fault: arm `failures` transient EEPROM write
     /// failures on `node`.
     InjectStorage {
         node: NodeId,
         failures: u32,
     },
+}
+
+/// Payload of [`Event::SetLink`] (see there for why it is boxed).
+#[derive(Clone, Copy, Debug)]
+struct SetLinkEvent {
+    from: NodeId,
+    to: NodeId,
+    ber: f64,
+    /// Only selects which observer event is emitted.
+    restore: bool,
 }
 
 fn event_node(ev: &Event) -> Option<NodeId> {
@@ -57,10 +65,9 @@ fn event_node(ev: &Event) -> Option<NodeId> {
         | Event::Wake(n, _) => Some(*n),
         // Fault events bypass the dead-node filter: Kill/Restart must run
         // on (or for) dead nodes, and link/storage faults guard themselves.
-        Event::Kill(_)
-        | Event::Restart(_)
-        | Event::SetLink { .. }
-        | Event::InjectStorage { .. } => None,
+        Event::Kill(_) | Event::Restart(_) | Event::SetLink(_) | Event::InjectStorage { .. } => {
+            None
+        }
     }
 }
 
@@ -76,7 +83,7 @@ pub struct NetworkBuilder {
     csma: CsmaConfig,
     capture: bool,
     tie_break: TieBreak,
-    observers: Vec<Box<dyn Observer>>,
+    observers: Vec<Box<dyn Observer + Send>>,
     faults: Option<FaultPlan>,
     sampler: Option<Shared<TimeSeriesSampler>>,
 }
@@ -122,7 +129,9 @@ impl NetworkBuilder {
     /// Attaches an observer; every [`mnp_obs::ObsEvent`] the run emits is
     /// delivered to each attached observer in attachment order. Use
     /// [`mnp_obs::Shared`] to keep a handle for post-run readback.
-    pub fn observer(mut self, obs: impl Observer + 'static) -> Self {
+    /// Observers must be `Send` (like the network that owns them), so a
+    /// built network can move to a worker thread whole.
+    pub fn observer(mut self, obs: impl Observer + Send + 'static) -> Self {
         self.observers.push(Box::new(obs));
         self
     }
@@ -219,21 +228,21 @@ impl NetworkBuilder {
                             .expect("plan validated against this graph");
                         queue.push(
                             at,
-                            Event::SetLink {
+                            Event::SetLink(Box::new(SetLinkEvent {
                                 from,
                                 to,
                                 ber,
                                 restore: false,
-                            },
+                            })),
                         );
                         queue.push(
                             at + duration,
-                            Event::SetLink {
+                            Event::SetLink(Box::new(SetLinkEvent {
                                 from,
                                 to,
                                 ber: original,
                                 restore: true,
-                            },
+                            })),
                         );
                     }
                     PlannedFault::StorageFaults { node, at, failures } => {
@@ -255,18 +264,9 @@ impl NetworkBuilder {
             queue,
             medium,
             protocols,
-            macs: (0..n).map(|_| Csma::new(self.csma)).collect(),
-            csma: self.csma,
-            awake: vec![true; n],
-            mac_epoch: vec![0; n],
-            sleep_epoch: vec![0; n],
-            pending_sleep: vec![None; n],
-            node_rngs,
-            mac_rngs,
-            meters: vec![EnergyMeter::new(); n],
+            macs: CsmaBank::new(self.csma, n),
+            nodes: NodeArena::new(0, node_rngs, mac_rngs),
             trace: RunTrace::new(n),
-            dead: vec![false; n],
-            inflight: vec![None; n],
             events_processed: 0,
             observers: self.observers,
             run_ended: false,
@@ -297,28 +297,22 @@ pub struct Network<P: Protocol> {
     queue: EventQueue<Event>,
     medium: Medium<P::Msg>,
     protocols: Vec<P>,
-    macs: Vec<Csma<P::Msg>>,
-    /// MAC configuration, kept so a crash-restarted node gets a factory-
-    /// fresh MAC (reboot resets RAM, not configuration).
-    csma: CsmaConfig,
-    awake: Vec<bool>,
-    mac_epoch: Vec<u64>,
-    sleep_epoch: Vec<u64>,
-    pending_sleep: Vec<Option<(SimTime, u64)>>,
-    node_rngs: Vec<SimRng>,
-    mac_rngs: Vec<SimRng>,
-    meters: Vec<EnergyMeter>,
+    /// Every node's MAC, in struct-of-arrays columns (it also keeps the
+    /// shared [`CsmaConfig`], so a crash-restarted node gets a factory-
+    /// fresh MAC via [`CsmaBank::reset`]).
+    macs: CsmaBank<P::Msg>,
+    /// Per-node kernel state, hot fields (liveness, epochs, in-flight
+    /// transmission) packed separately from cold ones (RNGs, meters,
+    /// deferred sleep).
+    nodes: NodeArena,
     trace: RunTrace,
-    dead: Vec<bool>,
-    /// The in-flight transmission of each node, for mid-frame aborts.
-    inflight: Vec<Option<TxId>>,
     events_processed: u64,
-    observers: Vec<Box<dyn Observer>>,
+    observers: Vec<Box<dyn Observer + Send>>,
     run_ended: bool,
     /// Reused delivery buffer: `tx_end` borrows it for the duration of one
     /// finished transmission and returns it cleared, so the steady-state
     /// delivery path performs no heap allocation.
-    outcome_scratch: TxOutcome<P::Msg>,
+    outcome_scratch: TxOutcome,
     /// Reused protocol-effect buffer, same idea for `callback`.
     ops_scratch: Vec<Op<P::Msg>>,
     /// Time-series sampler, fed kernel gauges at its cadence.
@@ -326,6 +320,17 @@ pub struct Network<P: Protocol> {
     /// Next instant to sample at; `SimTime::MAX` when no sampler is
     /// attached, so the run loop pays one comparison per event.
     next_sample_at: SimTime,
+}
+
+/// Compile-time proof that the kernel is `Send` for every protocol: no
+/// `Rc`, `RefCell`, or other thread-bound type anywhere in its state, so a
+/// whole simulation — and later, one shard of one — can be handed to a
+/// worker thread. (`tests/send.rs` instantiates this for the real
+/// protocols.)
+#[allow(dead_code)]
+fn _network_is_send<P: Protocol>() {
+    fn assert_send<T: Send>() {}
+    assert_send::<Network<P>>();
 }
 
 impl<P: Protocol> Network<P> {
@@ -336,7 +341,7 @@ impl<P: Protocol> Network<P> {
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.protocols.len()
+        self.nodes.len()
     }
 
     /// Whether the network has no nodes.
@@ -361,8 +366,8 @@ impl<P: Protocol> Network<P> {
 
     /// One node's energy meter. Call [`Network::finalize_meters`] first to
     /// fold in active radio time and EEPROM counts.
-    pub fn meter(&self, node: NodeId) -> &EnergyMeter {
-        &self.meters[node.index()]
+    pub fn meter(&self, node: NodeId) -> &mnp_energy::EnergyMeter {
+        self.nodes.meter(node)
     }
 
     /// Total events processed (a proxy for simulation effort).
@@ -404,7 +409,7 @@ impl<P: Protocol> Network<P> {
 
     /// Whether `node` has fail-stopped.
     pub fn is_dead(&self, node: NodeId) -> bool {
-        self.dead[node.index()]
+        self.nodes.hot(node).dead
     }
 
     /// Runs until `pred` holds (checked after every event), the event queue
@@ -464,10 +469,11 @@ impl<P: Protocol> Network<P> {
         for i in 0..self.protocols.len() {
             let node = NodeId::from_index(i);
             let art = self.medium.active_radio_time(node, at);
-            self.meters[i].set_active_radio(art);
             let ops = self.protocols[i].eeprom_ops();
-            self.meters[i].eeprom_reads = ops.line_reads;
-            self.meters[i].eeprom_writes = ops.line_writes;
+            let meter = self.nodes.meter_mut(node);
+            meter.set_active_radio(art);
+            meter.eeprom_reads = ops.line_reads;
+            meter.eeprom_writes = ops.line_writes;
             self.trace.set_active_radio(node, art);
             // Physical-layer counters never flow through the event stream;
             // hand each observer a snapshot alongside the meters.
@@ -514,7 +520,7 @@ impl<P: Protocol> Network<P> {
     fn dispatch(&mut self, ev: Event) {
         let _span = profile::span(Phase::Dispatch);
         if let Some(node) = event_node(&ev) {
-            if self.dead[node.index()] {
+            if self.nodes.hot(node).dead {
                 // Fail-stopped nodes are inert; their TxEnd event is the
                 // one exception handled in `kill` (the tx was aborted).
                 return;
@@ -523,12 +529,13 @@ impl<P: Protocol> Network<P> {
         match ev {
             Event::Kill(node) => self.kill(node),
             Event::Restart(node) => self.restart(node),
-            Event::SetLink {
-                from,
-                to,
-                ber,
-                restore,
-            } => {
+            Event::SetLink(ev) => {
+                let SetLinkEvent {
+                    from,
+                    to,
+                    ber,
+                    restore,
+                } = *ev;
                 self.medium.set_link_ber(from, to, ber);
                 let ber_ppb = (ber * 1e9).round() as u64;
                 let kind = if restore {
@@ -540,7 +547,7 @@ impl<P: Protocol> Network<P> {
             }
             Event::InjectStorage { node, failures } => {
                 // Dead hardware cannot fail a write it will never attempt.
-                if !self.dead[node.index()] {
+                if !self.nodes.hot(node).dead {
                     self.protocols[node.index()].inject_storage_fault(failures);
                     self.emit_obs(node, EventKind::StorageFault { failures });
                 }
@@ -549,22 +556,17 @@ impl<P: Protocol> Network<P> {
                 self.callback(node, |p, ctx| p.on_start(ctx));
             }
             Event::MacAttempt(node, epoch) => self.mac_attempt(node, epoch),
-            Event::TxEnd {
-                node,
-                tx,
-                airtime,
-                class,
-                kind,
-            } => self.tx_end(node, tx, airtime, class, kind),
+            Event::TxEnd { node, tx } => self.tx_end(node, tx),
             Event::Timer(node, token) => {
                 self.emit_obs(node, EventKind::TimerFire { token });
                 self.callback(node, |p, ctx| p.on_timer(ctx, token));
             }
             Event::Wake(node, epoch) => {
-                if epoch != self.sleep_epoch[node.index()] || self.awake[node.index()] {
+                let hot = self.nodes.hot(node);
+                if epoch != hot.sleep_epoch || hot.awake {
                     return;
                 }
-                self.awake[node.index()] = true;
+                self.nodes.hot_mut(node).awake = true;
                 self.medium.set_radio(node, true, self.now);
                 self.emit_obs(node, EventKind::Wake);
                 self.callback(node, |p, ctx| p.on_wake(ctx));
@@ -574,23 +576,24 @@ impl<P: Protocol> Network<P> {
 
     fn kill(&mut self, node: NodeId) {
         let i = node.index();
-        if self.dead[i] {
+        if self.nodes.hot(node).dead {
             return;
         }
-        if let Some(tx) = self.inflight[i].take() {
+        if let Some(tx) = self.nodes.hot_mut(node).inflight.take() {
             self.medium.abort_transmission(tx, self.now);
         }
-        if self.macs[i].is_transmitting() {
+        if self.macs.is_transmitting(i) {
             // The MAC believed a frame was on the air; reset it so its
             // invariants hold if anything pokes it later (nothing will —
             // the node is dead — but keep the state machine consistent).
-            let _ = self.macs[i].tx_done(&mut self.mac_rngs[i]);
+            let _ = self.macs.tx_done(i, self.nodes.mac_rng_mut(node));
         }
-        self.macs[i].flush();
-        self.mac_epoch[i] += 1;
+        self.macs.flush(i);
+        let hot = self.nodes.hot_mut(node);
+        hot.mac_epoch += 1;
+        hot.awake = false;
+        hot.dead = true;
         self.medium.set_radio(node, false, self.now);
-        self.awake[i] = false;
-        self.dead[i] = true;
         self.emit_obs(node, EventKind::NodeFailed);
     }
 
@@ -601,16 +604,17 @@ impl<P: Protocol> Network<P> {
     /// what persistent state survives. A no-op on a live node.
     fn restart(&mut self, node: NodeId) {
         let i = node.index();
-        if !self.dead[i] {
+        if !self.nodes.hot(node).dead {
             return;
         }
-        self.dead[i] = false;
+        let hot = self.nodes.hot_mut(node);
+        hot.dead = false;
         // Stale any MacAttempt/Wake events queued before the crash.
-        self.mac_epoch[i] += 1;
-        self.sleep_epoch[i] += 1;
-        self.pending_sleep[i] = None;
-        self.macs[i] = Csma::new(self.csma);
-        self.awake[i] = true;
+        hot.mac_epoch += 1;
+        hot.sleep_epoch += 1;
+        hot.awake = true;
+        self.nodes.take_pending_sleep(node);
+        self.macs.reset(i);
         self.medium.set_radio(node, true, self.now);
         self.emit_obs(node, EventKind::NodeRestarted);
         self.callback(node, |p, ctx| p.on_restart(ctx));
@@ -618,11 +622,12 @@ impl<P: Protocol> Network<P> {
 
     fn mac_attempt(&mut self, node: NodeId, epoch: u64) {
         let i = node.index();
-        if !self.awake[i] || epoch != self.mac_epoch[i] {
+        let hot = self.nodes.hot(node);
+        if !hot.awake || epoch != hot.mac_epoch {
             return; // stale attempt from before a sleep
         }
         let busy = self.medium.channel_busy(node);
-        match self.macs[i].attempt(busy, &mut self.mac_rngs[i]) {
+        match self.macs.attempt(i, busy, self.nodes.mac_rng_mut(node)) {
             CsmaAction::Backoff(d) => {
                 self.queue
                     .push(self.now + d, Event::MacAttempt(node, epoch));
@@ -645,37 +650,36 @@ impl<P: Protocol> Network<P> {
                         detail,
                     },
                 );
-                self.meters[i].record_tx(start.airtime);
-                self.inflight[i] = Some(start.id);
+                self.nodes.meter_mut(node).record_tx(start.airtime);
+                self.nodes.hot_mut(node).inflight = Some(start.id);
                 self.queue.push(
                     self.now + start.airtime,
-                    Event::TxEnd {
-                        node,
-                        tx: start.id,
-                        airtime: start.airtime,
-                        class,
-                        kind,
-                    },
+                    Event::TxEnd { node, tx: start.id },
                 );
             }
             CsmaAction::Idle => unreachable!("attempt never yields Idle"),
         }
     }
 
-    fn tx_end(
-        &mut self,
-        node: NodeId,
-        tx: TxId,
-        airtime: SimDuration,
-        class: MsgClass,
-        kind: &'static str,
-    ) {
-        self.inflight[node.index()] = None;
+    fn tx_end(&mut self, node: NodeId, tx: TxId) {
+        self.nodes.hot_mut(node).inflight = None;
         let mut outcome = std::mem::take(&mut self.outcome_scratch);
         self.medium
             .finish_transmission_into(tx, self.now, &mut outcome);
         debug_assert_eq!(outcome.src, node);
         let src = outcome.src;
+        let airtime = outcome.airtime;
+        // Move the payload out of the arena (recycling its slot) and
+        // re-derive the frame metadata the slim TxEnd event no longer
+        // carries.
+        let msg = self.medium.release_payload(
+            outcome
+                .payload
+                .take()
+                .expect("finished frame has a payload"),
+        );
+        let class = msg.class();
+        let kind = msg.kind_label();
         if !self.observers.is_empty() {
             for &recv in &outcome.corrupted {
                 self.emit(
@@ -700,9 +704,8 @@ impl<P: Protocol> Network<P> {
                 );
             }
         }
-        for &(recv, ref msg) in &outcome.delivered {
-            let msg: &P::Msg = msg;
-            self.meters[recv.index()].record_rx(airtime);
+        for &recv in &outcome.delivered {
+            self.nodes.meter_mut(recv).record_rx(airtime);
             self.emit(
                 recv,
                 EventKind::MsgRx {
@@ -713,23 +716,23 @@ impl<P: Protocol> Network<P> {
                     detail: msg.detail(),
                 },
             );
-            self.callback(recv, |p, ctx| p.on_message(ctx, src, msg));
+            self.callback(recv, |p, ctx| p.on_message(ctx, src, &msg));
         }
-        // Hand the cleared buffer back; dropping the payload handles here
-        // lets the medium recycle the payload cell for the next frame.
+        // Hand the cleared buffer back for the next finished frame.
         outcome.clear();
         self.outcome_scratch = outcome;
         let i = node.index();
-        match self.macs[i].tx_done(&mut self.mac_rngs[i]) {
+        match self.macs.tx_done(i, self.nodes.mac_rng_mut(node)) {
             CsmaAction::Backoff(d) => {
+                let epoch = self.nodes.hot(node).mac_epoch;
                 self.queue
-                    .push(self.now + d, Event::MacAttempt(node, self.mac_epoch[i]));
+                    .push(self.now + d, Event::MacAttempt(node, epoch));
             }
             CsmaAction::Idle => {}
             CsmaAction::Transmit(_) => unreachable!("tx_done never yields Transmit"),
         }
-        if let Some((wake_at, epoch)) = self.pending_sleep[i].take() {
-            if epoch == self.sleep_epoch[i] {
+        if let Some((wake_at, epoch)) = self.nodes.take_pending_sleep(node) {
+            if epoch == self.nodes.hot(node).sleep_epoch {
                 self.go_to_sleep(node, wake_at, epoch);
             }
         }
@@ -747,7 +750,7 @@ impl<P: Protocol> Network<P> {
         } else {
             ""
         };
-        let mut ctx = Context::new(self.now, node, &mut self.node_rngs[i]);
+        let mut ctx = Context::new(self.now, node, self.nodes.rng_mut(node));
         // Collect effects into the pooled buffer instead of a fresh Vec.
         debug_assert!(self.ops_scratch.is_empty());
         ctx.ops = std::mem::take(&mut self.ops_scratch);
@@ -777,12 +780,16 @@ impl<P: Protocol> Network<P> {
         for op in ops.drain(..) {
             match op {
                 Op::Send(msg) => {
-                    assert!(self.awake[i], "{node} sent a message while asleep");
+                    assert!(
+                        self.nodes.hot(node).awake,
+                        "{node} sent a message while asleep"
+                    );
                     let frame = Frame::new(node, msg.wire_bytes(), msg);
-                    match self.macs[i].enqueue(frame, &mut self.mac_rngs[i]) {
+                    match self.macs.enqueue(i, frame, self.nodes.mac_rng_mut(node)) {
                         CsmaAction::Backoff(d) => {
+                            let epoch = self.nodes.hot(node).mac_epoch;
                             self.queue
-                                .push(self.now + d, Event::MacAttempt(node, self.mac_epoch[i]));
+                                .push(self.now + d, Event::MacAttempt(node, epoch));
                         }
                         CsmaAction::Idle => {}
                         CsmaAction::Transmit(_) => unreachable!("enqueue never yields Transmit"),
@@ -799,14 +806,18 @@ impl<P: Protocol> Network<P> {
                     self.queue.push(self.now + delay, Event::Timer(node, token));
                 }
                 Op::Sleep(duration) => {
-                    assert!(self.awake[i], "{node} requested sleep while asleep");
+                    assert!(
+                        self.nodes.hot(node).awake,
+                        "{node} requested sleep while asleep"
+                    );
                     let wake_at = self.now + duration;
-                    self.sleep_epoch[i] += 1;
-                    let epoch = self.sleep_epoch[i];
-                    if self.macs[i].is_transmitting() {
+                    let hot = self.nodes.hot_mut(node);
+                    hot.sleep_epoch += 1;
+                    let epoch = hot.sleep_epoch;
+                    if self.macs.is_transmitting(i) {
                         // Finish the frame on the air first; radio down at
                         // TxEnd. The wake instant is unchanged.
-                        self.pending_sleep[i] = Some((wake_at, epoch));
+                        self.nodes.set_pending_sleep(node, wake_at, epoch);
                     } else {
                         self.go_to_sleep(node, wake_at, epoch);
                     }
@@ -827,10 +838,11 @@ impl<P: Protocol> Network<P> {
     fn go_to_sleep(&mut self, node: NodeId, wake_at: SimTime, epoch: u64) {
         let i = node.index();
         self.emit_obs(node, EventKind::SleepStart { until: wake_at });
-        self.macs[i].flush();
-        self.mac_epoch[i] += 1; // invalidate any scheduled MacAttempt
+        self.macs.flush(i);
+        let hot = self.nodes.hot_mut(node);
+        hot.mac_epoch += 1; // invalidate any scheduled MacAttempt
+        hot.awake = false;
         self.medium.set_radio(node, false, self.now);
-        self.awake[i] = false;
         self.queue.push(wake_at, Event::Wake(node, epoch));
     }
 }
@@ -838,6 +850,7 @@ impl<P: Protocol> Network<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mnp_sim::SimDuration;
     use mnp_trace::MsgClass;
 
     /// Test message: a counter.
@@ -1062,6 +1075,7 @@ mod tests {
 mod failure_tests {
     use super::*;
     use crate::protocol::{EepromOps, WireMsg};
+    use mnp_sim::SimDuration;
     use mnp_trace::MsgClass;
 
     /// Chatty protocol: every node broadcasts a beacon every 50 ms forever.

@@ -1,0 +1,195 @@
+//! Per-node kernel state: a hot/cold split arena indexed by [`NodeId`].
+//!
+//! The network kernel used to carry ~12 parallel `Vec`s of per-node state;
+//! this module packs them into one arena with an explicit temperature
+//! split. The *hot* column ([`NodeHot`]) is the handful of flags and
+//! epochs the dispatcher consults on every event — liveness, wakefulness,
+//! the epoch counters that stale-filter queued events, and the in-flight
+//! transmission. The *cold* columns (RNGs, energy meters, deferred sleep)
+//! are touched once per MAC decision or per run at most, so they live in
+//! separate allocations and stay out of the dispatch cache lines.
+//!
+//! The arena owns a contiguous `NodeId` range starting at `base`. The
+//! single-threaded kernel uses `base == 0` over all nodes; a future
+//! sharded kernel gives each shard its own arena over a disjoint range,
+//! which is why every accessor takes a `NodeId` and translates it rather
+//! than exposing raw vector indexing.
+
+use mnp_energy::EnergyMeter;
+use mnp_radio::{NodeId, TxId};
+use mnp_sim::{SimRng, SimTime};
+
+/// The per-node state the dispatcher reads on (nearly) every event.
+///
+/// Kept `Copy` and small so a node's whole hot state loads in one cache
+/// line alongside its neighbours'.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct NodeHot {
+    /// Radio up and protocol reachable (false while sleeping or dead).
+    pub awake: bool,
+    /// Fail-stopped (crash / battery death).
+    pub dead: bool,
+    /// Bumped on sleep/kill/restart; stale `MacAttempt` events carry the
+    /// old epoch and are dropped.
+    pub mac_epoch: u64,
+    /// Bumped on each sleep request and on restart; stale `Wake` events
+    /// carry the old epoch and are dropped.
+    pub sleep_epoch: u64,
+    /// The node's in-flight transmission, for mid-frame aborts.
+    pub inflight: Option<TxId>,
+}
+
+impl NodeHot {
+    fn new() -> Self {
+        NodeHot {
+            awake: true,
+            dead: false,
+            mac_epoch: 0,
+            sleep_epoch: 0,
+            inflight: None,
+        }
+    }
+}
+
+/// Hot/cold split per-node state over a contiguous `NodeId` range.
+#[derive(Debug)]
+pub(crate) struct NodeArena {
+    /// First `NodeId::index()` this arena owns.
+    base: usize,
+    hot: Vec<NodeHot>,
+    // Cold columns: read at MAC/protocol cadence or at finalisation, not
+    // per dispatched event.
+    node_rngs: Vec<SimRng>,
+    mac_rngs: Vec<SimRng>,
+    meters: Vec<EnergyMeter>,
+    pending_sleep: Vec<Option<(SimTime, u64)>>,
+}
+
+impl NodeArena {
+    /// Builds an arena over `[base, base + node_rngs.len())`, all nodes
+    /// awake and alive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the RNG columns disagree in length.
+    pub fn new(base: usize, node_rngs: Vec<SimRng>, mac_rngs: Vec<SimRng>) -> Self {
+        assert_eq!(node_rngs.len(), mac_rngs.len());
+        let n = node_rngs.len();
+        NodeArena {
+            base,
+            hot: vec![NodeHot::new(); n],
+            node_rngs,
+            mac_rngs,
+            meters: vec![EnergyMeter::new(); n],
+            pending_sleep: vec![None; n],
+        }
+    }
+
+    /// Number of nodes in this arena's range.
+    pub fn len(&self) -> usize {
+        self.hot.len()
+    }
+
+    fn idx(&self, node: NodeId) -> usize {
+        let i = node.index();
+        debug_assert!(
+            (self.base..self.base + self.hot.len()).contains(&i),
+            "{node} outside this arena's range"
+        );
+        i - self.base
+    }
+
+    /// Reads `node`'s hot state (it is `Copy`).
+    pub fn hot(&self, node: NodeId) -> NodeHot {
+        self.hot[self.idx(node)]
+    }
+
+    /// Mutable access to `node`'s hot state.
+    pub fn hot_mut(&mut self, node: NodeId) -> &mut NodeHot {
+        let i = self.idx(node);
+        &mut self.hot[i]
+    }
+
+    /// `node`'s protocol RNG.
+    pub fn rng_mut(&mut self, node: NodeId) -> &mut SimRng {
+        let i = self.idx(node);
+        &mut self.node_rngs[i]
+    }
+
+    /// `node`'s MAC RNG (a stream separate from the protocol's, so MAC
+    /// backoff draws never perturb protocol randomness).
+    pub fn mac_rng_mut(&mut self, node: NodeId) -> &mut SimRng {
+        let i = self.idx(node);
+        &mut self.mac_rngs[i]
+    }
+
+    /// `node`'s energy meter.
+    pub fn meter(&self, node: NodeId) -> &EnergyMeter {
+        &self.meters[self.idx(node)]
+    }
+
+    /// Mutable access to `node`'s energy meter.
+    pub fn meter_mut(&mut self, node: NodeId) -> &mut EnergyMeter {
+        let i = self.idx(node);
+        &mut self.meters[i]
+    }
+
+    /// Defers `node`'s sleep until its in-flight frame ends.
+    pub fn set_pending_sleep(&mut self, node: NodeId, wake_at: SimTime, epoch: u64) {
+        let i = self.idx(node);
+        self.pending_sleep[i] = Some((wake_at, epoch));
+    }
+
+    /// Takes (and clears) `node`'s deferred sleep, if any.
+    pub fn take_pending_sleep(&mut self, node: NodeId) -> Option<(SimTime, u64)> {
+        let i = self.idx(node);
+        self.pending_sleep[i].take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena(base: usize, n: usize) -> NodeArena {
+        let root = SimRng::new(1);
+        let node_rngs = (0..n).map(|i| root.derive(i as u64)).collect();
+        let mac_rngs = (0..n).map(|i| root.derive(100 + i as u64)).collect();
+        NodeArena::new(base, node_rngs, mac_rngs)
+    }
+
+    #[test]
+    fn nodes_start_awake_alive_and_idle() {
+        let a = arena(0, 3);
+        assert_eq!(a.len(), 3);
+        let h = a.hot(NodeId(1));
+        assert!(h.awake && !h.dead);
+        assert_eq!((h.mac_epoch, h.sleep_epoch), (0, 0));
+        assert!(h.inflight.is_none());
+    }
+
+    #[test]
+    fn mutations_land_on_the_addressed_node_only() {
+        let mut a = arena(0, 3);
+        a.hot_mut(NodeId(2)).dead = true;
+        a.hot_mut(NodeId(2)).mac_epoch += 1;
+        assert!(a.hot(NodeId(2)).dead);
+        assert_eq!(a.hot(NodeId(2)).mac_epoch, 1);
+        assert!(!a.hot(NodeId(0)).dead && !a.hot(NodeId(1)).dead);
+    }
+
+    #[test]
+    fn a_based_arena_translates_node_ids() {
+        // A shard owning NodeIds 4..7: accessors take the global id.
+        let mut a = arena(4, 3);
+        a.hot_mut(NodeId(5)).awake = false;
+        assert!(!a.hot(NodeId(5)).awake);
+        assert!(a.hot(NodeId(4)).awake && a.hot(NodeId(6)).awake);
+        a.set_pending_sleep(NodeId(6), SimTime::from_secs(1), 7);
+        assert_eq!(
+            a.take_pending_sleep(NodeId(6)),
+            Some((SimTime::from_secs(1), 7))
+        );
+        assert_eq!(a.take_pending_sleep(NodeId(6)), None);
+    }
+}

@@ -12,7 +12,11 @@ use crate::context::Context;
 ///
 /// Byte sizes are the protocol's real packet budget (they drive airtime and
 /// collision windows), and the class feeds the Fig.-12 message breakdown.
-pub trait WireMsg {
+///
+/// Messages must be `Send`: they ride through the medium's payload arena
+/// inside the network kernel, which is itself `Send` so a whole simulation
+/// (or, later, one shard of one) can run on a worker thread.
+pub trait WireMsg: Send {
     /// Payload length in bytes as it would be laid out in a TinyOS packet.
     /// Must not exceed [`mnp_radio::MAX_PAYLOAD_BYTES`].
     fn wire_bytes(&self) -> usize;
@@ -68,7 +72,16 @@ pub struct EepromOps {
 /// `mnp::engine::TimerMux`) and [`on_timer_kind`](Protocol::on_timer_kind);
 /// the default `on_timer` then routes live firings to the kind handler and
 /// stale ones to [`on_stale_timer`](Protocol::on_stale_timer).
-pub trait Protocol: Sized {
+///
+/// # Threading
+///
+/// Protocols must be `Send` (and so must their messages): `Network<P>` is
+/// `Send` by construction — asserted at compile time in the network module
+/// — so a whole simulation can be handed to a worker thread, and the
+/// planned sharded kernel can own per-shard protocol state on its own
+/// thread. Protocol state is plain owned data in practice, so this costs
+/// implementations nothing.
+pub trait Protocol: Sized + Send {
     /// The protocol's message type.
     type Msg: WireMsg + Clone + Debug;
 

@@ -3,9 +3,8 @@
 use crate::event::ObsEvent;
 use mnp_radio::{MediumStats, NodeId};
 use mnp_sim::SimTime;
-use std::cell::{Ref, RefCell, RefMut};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// A sink for simulation events.
 ///
@@ -51,64 +50,62 @@ impl<T: Observer + ?Sized> Observer for Box<T> {
 /// A clonable handle that lets the caller keep access to an observer the
 /// network owns.
 ///
-/// The network takes observers as `Box<dyn Observer>`; wrapping one in
-/// `Shared` first lets a harness attach a clone and read the results back
-/// after the run:
+/// The network takes observers as `Box<dyn Observer + Send>`; wrapping one
+/// in `Shared` first lets a harness attach a clone and read the results
+/// back after the run. Sharing is `Arc<Mutex<_>>` (never `Rc<RefCell<_>>`),
+/// so a network holding the attached clone stays `Send` and can run on a
+/// worker thread while the harness keeps its handle:
 ///
 /// ```
 /// use mnp_obs::{JsonlLogger, Observer, Shared};
 ///
 /// let log = Shared::new(JsonlLogger::new());
-/// let attached: Box<dyn Observer> = Box::new(log.clone());
+/// let attached: Box<dyn Observer + Send> = Box::new(log.clone());
 /// // ... run the network with `attached` ...
 /// assert_eq!(log.borrow().events(), 0);
 /// ```
 #[derive(Debug)]
-pub struct Shared<T>(Rc<RefCell<T>>);
+pub struct Shared<T>(Arc<Mutex<T>>);
 
 impl<T> Shared<T> {
     /// Wraps `inner` for shared access.
     pub fn new(inner: T) -> Self {
-        Shared(Rc::new(RefCell::new(inner)))
+        Shared(Arc::new(Mutex::new(inner)))
     }
 
-    /// Immutably borrows the inner observer.
+    /// Locks and borrows the inner observer.
     ///
-    /// # Panics
-    ///
-    /// Panics if the observer is currently mutably borrowed (it never is
-    /// outside an `on_event`/`on_run_end` call).
-    pub fn borrow(&self) -> Ref<'_, T> {
-        self.0.borrow()
+    /// The simulation is single-threaded per run, so the lock is
+    /// uncontended; a poisoned lock (a panic mid-callback) still yields the
+    /// inner value, since observers hold diagnostics worth reading after a
+    /// failure.
+    pub fn borrow(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Mutably borrows the inner observer.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the observer is currently borrowed.
-    pub fn borrow_mut(&self) -> RefMut<'_, T> {
-        self.0.borrow_mut()
+    /// Locks and mutably borrows the inner observer.
+    pub fn borrow_mut(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T> Clone for Shared<T> {
     fn clone(&self) -> Self {
-        Shared(Rc::clone(&self.0))
+        Shared(Arc::clone(&self.0))
     }
 }
 
 impl<T: Observer> Observer for Shared<T> {
     fn on_event(&mut self, ev: &ObsEvent) {
-        self.0.borrow_mut().on_event(ev);
+        self.borrow_mut().on_event(ev);
     }
 
     fn on_run_end(&mut self, at: SimTime) {
-        self.0.borrow_mut().on_run_end(at);
+        self.borrow_mut().on_run_end(at);
     }
 
     fn on_medium_stats(&mut self, node: NodeId, stats: &MediumStats) {
-        self.0.borrow_mut().on_medium_stats(node, stats);
+        self.borrow_mut().on_medium_stats(node, stats);
     }
 }
 

@@ -9,6 +9,11 @@
 //! The machine is driven externally (by `mnp-net`'s event loop): it never
 //! sets timers itself, it *returns* the delay after which the caller should
 //! invoke [`Csma::attempt`].
+//!
+//! Two views exist over the same state machine: [`CsmaBank`] holds the MAC
+//! state of *every* node in struct-of-arrays columns (what the network
+//! kernel drives), and [`Csma`] is the single-node wrapper (a one-row bank)
+//! for tests and direct use.
 
 use std::collections::VecDeque;
 
@@ -66,13 +71,220 @@ pub enum CsmaAction<P> {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum State {
     Idle,
-    /// Waiting for a backoff timer; the head frame is in `current`.
+    /// Waiting for a backoff timer; the head frame is in `currents`.
     Backing,
     /// A frame is on the air.
     Transmitting,
 }
 
-/// The CSMA MAC state machine for one node.
+/// The CSMA MAC state of every node, in struct-of-arrays columns indexed
+/// by node.
+///
+/// The hot column (`states`, one byte per node) is what the event loop
+/// touches on every MAC decision; the frame storage (`currents`, `queues`)
+/// and the diagnostic counters live in their own arrays. All nodes share
+/// one [`CsmaConfig`] — exactly what the old one-`Csma`-per-node layout
+/// stored `n` copies of.
+#[derive(Clone, Debug)]
+pub struct CsmaBank<P> {
+    config: CsmaConfig,
+    states: Vec<State>,
+    currents: Vec<Option<Frame<P>>>,
+    queues: Vec<VecDeque<Frame<P>>>,
+    drops: Vec<u64>,
+    busy_retries: Vec<u64>,
+}
+
+impl<P> CsmaBank<P> {
+    /// Creates `nodes` idle MACs sharing `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backoff ranges are inverted.
+    pub fn new(config: CsmaConfig, nodes: usize) -> Self {
+        assert!(config.initial_backoff_min <= config.initial_backoff_max);
+        assert!(config.congestion_backoff_min <= config.congestion_backoff_max);
+        CsmaBank {
+            config,
+            states: vec![State::Idle; nodes],
+            currents: (0..nodes).map(|_| None).collect(),
+            queues: (0..nodes).map(|_| VecDeque::new()).collect(),
+            drops: vec![0; nodes],
+            busy_retries: vec![0; nodes],
+        }
+    }
+
+    /// The shared MAC configuration.
+    pub fn config(&self) -> CsmaConfig {
+        self.config
+    }
+
+    /// Number of nodes in the bank.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the bank has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Hands a frame to `node`'s MAC.
+    ///
+    /// Returns [`CsmaAction::Backoff`] when this frame starts a new
+    /// contention round; returns [`CsmaAction::Idle`] when the frame was
+    /// queued behind (or dropped beyond capacity of) an ongoing round.
+    pub fn enqueue(&mut self, node: usize, frame: Frame<P>, rng: &mut SimRng) -> CsmaAction<P> {
+        let _span = profile::span(Phase::Csma);
+        match self.states[node] {
+            State::Idle => {
+                debug_assert!(self.currents[node].is_none() && self.queues[node].is_empty());
+                self.currents[node] = Some(frame);
+                self.states[node] = State::Backing;
+                CsmaAction::Backoff(self.initial_backoff(rng))
+            }
+            State::Backing | State::Transmitting => {
+                if self.queues[node].len() >= self.config.queue_capacity {
+                    self.drops[node] += 1;
+                } else {
+                    self.queues[node].push_back(frame);
+                }
+                CsmaAction::Idle
+            }
+        }
+    }
+
+    /// Carrier-sense attempt for `node` when its backoff timer fires.
+    ///
+    /// `channel_busy` is the carrier-sense reading at this instant. Returns
+    /// [`CsmaAction::Transmit`] on a clear channel or another
+    /// [`CsmaAction::Backoff`] on a busy one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the MAC was not waiting for an attempt (caller bug: stale
+    /// timer not cancelled).
+    pub fn attempt(&mut self, node: usize, channel_busy: bool, rng: &mut SimRng) -> CsmaAction<P> {
+        let _span = profile::span(Phase::Csma);
+        assert_eq!(
+            self.states[node],
+            State::Backing,
+            "attempt without pending frame"
+        );
+        if channel_busy {
+            self.busy_retries[node] += 1;
+            CsmaAction::Backoff(self.congestion_backoff(rng))
+        } else {
+            self.states[node] = State::Transmitting;
+            let frame = self.currents[node]
+                .take()
+                .expect("backing implies current frame");
+            CsmaAction::Transmit(frame)
+        }
+    }
+
+    /// Notifies `node`'s MAC that its frame finished transmitting.
+    ///
+    /// Returns the next action: a backoff for the next queued frame, or
+    /// [`CsmaAction::Idle`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transmission was in flight.
+    pub fn tx_done(&mut self, node: usize, rng: &mut SimRng) -> CsmaAction<P> {
+        let _span = profile::span(Phase::Csma);
+        assert_eq!(
+            self.states[node],
+            State::Transmitting,
+            "tx_done without transmission"
+        );
+        self.states[node] = State::Idle;
+        match self.queues[node].pop_front() {
+            Some(next) => {
+                self.currents[node] = Some(next);
+                self.states[node] = State::Backing;
+                CsmaAction::Backoff(self.initial_backoff(rng))
+            }
+            None => CsmaAction::Idle,
+        }
+    }
+
+    /// Discards `node`'s pending frame and queue (used when the node
+    /// sleeps).
+    ///
+    /// Returns how many frames were thrown away. Must not be called while a
+    /// frame is mid-air; finish or account for it first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transmission is in flight.
+    pub fn flush(&mut self, node: usize) -> usize {
+        assert_ne!(
+            self.states[node],
+            State::Transmitting,
+            "flush mid-transmission"
+        );
+        let n = usize::from(self.currents[node].take().is_some()) + self.queues[node].len();
+        self.queues[node].clear();
+        self.states[node] = State::Idle;
+        n
+    }
+
+    /// Resets `node`'s MAC to a factory-fresh state (node restart): frames
+    /// discarded, counters zeroed, queue capacity retained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transmission is in flight; abort or finish it first.
+    pub fn reset(&mut self, node: usize) {
+        self.flush(node);
+        self.drops[node] = 0;
+        self.busy_retries[node] = 0;
+    }
+
+    /// Whether `node`'s MAC holds no frames (idle and empty queue).
+    pub fn is_idle(&self, node: usize) -> bool {
+        self.states[node] == State::Idle
+            && self.currents[node].is_none()
+            && self.queues[node].is_empty()
+    }
+
+    /// Whether `node` has a frame currently on the air.
+    pub fn is_transmitting(&self, node: usize) -> bool {
+        self.states[node] == State::Transmitting
+    }
+
+    /// Frames waiting behind `node`'s current one.
+    pub fn queued(&self, node: usize) -> usize {
+        self.queues[node].len()
+    }
+
+    /// Frames `node` dropped because its queue was full.
+    pub fn drops(&self, node: usize) -> u64 {
+        self.drops[node]
+    }
+
+    /// Carrier-sense attempts by `node` that found the channel busy.
+    pub fn busy_retries(&self, node: usize) -> u64 {
+        self.busy_retries[node]
+    }
+
+    fn initial_backoff(&self, rng: &mut SimRng) -> SimDuration {
+        rng.duration_between(
+            self.config.initial_backoff_min,
+            self.config.initial_backoff_max,
+        )
+    }
+
+    fn congestion_backoff(&self, rng: &mut SimRng) -> SimDuration {
+        rng.duration_between(
+            self.config.congestion_backoff_min,
+            self.config.congestion_backoff_max,
+        )
+    }
+}
+
+/// The CSMA MAC state machine for one node: a one-row [`CsmaBank`].
 ///
 /// # Example
 ///
@@ -95,14 +307,7 @@ enum State {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Csma<P> {
-    config: CsmaConfig,
-    state: State,
-    current: Option<Frame<P>>,
-    queue: VecDeque<Frame<P>>,
-    /// Frames dropped because the queue was full.
-    pub drops: u64,
-    /// Carrier-sense attempts that found the channel busy.
-    pub busy_retries: u64,
+    bank: CsmaBank<P>,
 }
 
 impl<P> Csma<P> {
@@ -112,135 +317,56 @@ impl<P> Csma<P> {
     ///
     /// Panics if the backoff ranges are inverted.
     pub fn new(config: CsmaConfig) -> Self {
-        assert!(config.initial_backoff_min <= config.initial_backoff_max);
-        assert!(config.congestion_backoff_min <= config.congestion_backoff_max);
         Csma {
-            config,
-            state: State::Idle,
-            current: None,
-            queue: VecDeque::new(),
-            drops: 0,
-            busy_retries: 0,
+            bank: CsmaBank::new(config, 1),
         }
     }
 
-    /// Hands a frame to the MAC.
-    ///
-    /// Returns [`CsmaAction::Backoff`] when this frame starts a new
-    /// contention round; returns [`CsmaAction::Idle`] when the frame was
-    /// queued behind (or dropped beyond capacity of) an ongoing round.
+    /// Hands a frame to the MAC; see [`CsmaBank::enqueue`].
     pub fn enqueue(&mut self, frame: Frame<P>, rng: &mut SimRng) -> CsmaAction<P> {
-        let _span = profile::span(Phase::Csma);
-        match self.state {
-            State::Idle => {
-                debug_assert!(self.current.is_none() && self.queue.is_empty());
-                self.current = Some(frame);
-                self.state = State::Backing;
-                CsmaAction::Backoff(self.initial_backoff(rng))
-            }
-            State::Backing | State::Transmitting => {
-                if self.queue.len() >= self.config.queue_capacity {
-                    self.drops += 1;
-                } else {
-                    self.queue.push_back(frame);
-                }
-                CsmaAction::Idle
-            }
-        }
+        self.bank.enqueue(0, frame, rng)
     }
 
-    /// Carrier-sense attempt when a backoff timer fires.
-    ///
-    /// `channel_busy` is the carrier-sense reading at this instant. Returns
-    /// [`CsmaAction::Transmit`] on a clear channel or another
-    /// [`CsmaAction::Backoff`] on a busy one.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the MAC was not waiting for an attempt (caller bug: stale
-    /// timer not cancelled).
+    /// Carrier-sense attempt when a backoff timer fires; see
+    /// [`CsmaBank::attempt`].
     pub fn attempt(&mut self, channel_busy: bool, rng: &mut SimRng) -> CsmaAction<P> {
-        let _span = profile::span(Phase::Csma);
-        assert_eq!(self.state, State::Backing, "attempt without pending frame");
-        if channel_busy {
-            self.busy_retries += 1;
-            CsmaAction::Backoff(self.congestion_backoff(rng))
-        } else {
-            self.state = State::Transmitting;
-            let frame = self.current.take().expect("backing implies current frame");
-            CsmaAction::Transmit(frame)
-        }
+        self.bank.attempt(0, channel_busy, rng)
     }
 
-    /// Notifies the MAC that its frame finished transmitting.
-    ///
-    /// Returns the next action: a backoff for the next queued frame, or
-    /// [`CsmaAction::Idle`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if no transmission was in flight.
+    /// Notifies the MAC that its frame finished transmitting; see
+    /// [`CsmaBank::tx_done`].
     pub fn tx_done(&mut self, rng: &mut SimRng) -> CsmaAction<P> {
-        let _span = profile::span(Phase::Csma);
-        assert_eq!(
-            self.state,
-            State::Transmitting,
-            "tx_done without transmission"
-        );
-        self.state = State::Idle;
-        match self.queue.pop_front() {
-            Some(next) => {
-                self.current = Some(next);
-                self.state = State::Backing;
-                CsmaAction::Backoff(self.initial_backoff(rng))
-            }
-            None => CsmaAction::Idle,
-        }
+        self.bank.tx_done(0, rng)
     }
 
-    /// Discards the pending frame and queue (used when the node sleeps).
-    ///
-    /// Returns how many frames were thrown away. Must not be called while a
-    /// frame is mid-air; finish or account for it first.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a transmission is in flight.
+    /// Discards the pending frame and queue; see [`CsmaBank::flush`].
     pub fn flush(&mut self) -> usize {
-        assert_ne!(self.state, State::Transmitting, "flush mid-transmission");
-        let n = usize::from(self.current.take().is_some()) + self.queue.len();
-        self.queue.clear();
-        self.state = State::Idle;
-        n
+        self.bank.flush(0)
     }
 
     /// Whether the MAC holds no frames (idle and empty queue).
     pub fn is_idle(&self) -> bool {
-        self.state == State::Idle && self.current.is_none() && self.queue.is_empty()
+        self.bank.is_idle(0)
     }
 
     /// Whether a frame is currently on the air.
     pub fn is_transmitting(&self) -> bool {
-        self.state == State::Transmitting
+        self.bank.is_transmitting(0)
     }
 
     /// Frames waiting behind the current one.
     pub fn queued(&self) -> usize {
-        self.queue.len()
+        self.bank.queued(0)
     }
 
-    fn initial_backoff(&self, rng: &mut SimRng) -> SimDuration {
-        rng.duration_between(
-            self.config.initial_backoff_min,
-            self.config.initial_backoff_max,
-        )
+    /// Frames dropped because the queue was full.
+    pub fn drops(&self) -> u64 {
+        self.bank.drops(0)
     }
 
-    fn congestion_backoff(&self, rng: &mut SimRng) -> SimDuration {
-        rng.duration_between(
-            self.config.congestion_backoff_min,
-            self.config.congestion_backoff_max,
-        )
+    /// Carrier-sense attempts that found the channel busy.
+    pub fn busy_retries(&self) -> u64 {
+        self.bank.busy_retries(0)
     }
 }
 
@@ -280,7 +406,7 @@ mod tests {
         for _ in 0..3 {
             assert!(matches!(m.attempt(true, &mut rng), CsmaAction::Backoff(_)));
         }
-        assert_eq!(m.busy_retries, 3);
+        assert_eq!(m.busy_retries(), 3);
         assert!(matches!(
             m.attempt(false, &mut rng),
             CsmaAction::Transmit(_)
@@ -315,7 +441,7 @@ mod tests {
         m.enqueue(frame(2), &mut rng);
         m.enqueue(frame(3), &mut rng);
         assert_eq!(m.queued(), 2);
-        assert_eq!(m.drops, 1);
+        assert_eq!(m.drops(), 1);
     }
 
     #[test]
@@ -328,6 +454,45 @@ mod tests {
         // A fresh enqueue starts a new round.
         assert!(matches!(
             m.enqueue(frame(3), &mut rng),
+            CsmaAction::Backoff(_)
+        ));
+    }
+
+    #[test]
+    fn bank_rows_are_independent() {
+        let mut bank: CsmaBank<u32> = CsmaBank::new(CsmaConfig::default(), 3);
+        let mut rng = SimRng::new(11);
+        assert!(matches!(
+            bank.enqueue(0, frame(1), &mut rng),
+            CsmaAction::Backoff(_)
+        ));
+        assert!(matches!(
+            bank.enqueue(2, frame(2), &mut rng),
+            CsmaAction::Backoff(_)
+        ));
+        let _ = bank.attempt(0, false, &mut rng);
+        assert!(bank.is_transmitting(0));
+        assert!(bank.is_idle(1), "untouched row stays idle");
+        assert!(!bank.is_idle(2), "row 2 is backing off");
+        let _ = bank.tx_done(0, &mut rng);
+        assert!(bank.is_idle(0));
+    }
+
+    #[test]
+    fn bank_reset_restores_factory_state() {
+        let mut bank: CsmaBank<u32> = CsmaBank::new(CsmaConfig::default(), 2);
+        let mut rng = SimRng::new(12);
+        bank.enqueue(1, frame(1), &mut rng);
+        bank.enqueue(1, frame(2), &mut rng);
+        let _ = bank.attempt(1, true, &mut rng);
+        assert_eq!(bank.busy_retries(1), 1);
+        bank.reset(1);
+        assert!(bank.is_idle(1));
+        assert_eq!(bank.busy_retries(1), 0);
+        assert_eq!(bank.drops(1), 0);
+        // A reset row starts a fresh contention round like a new MAC.
+        assert!(matches!(
+            bank.enqueue(1, frame(3), &mut rng),
             CsmaAction::Backoff(_)
         ));
     }

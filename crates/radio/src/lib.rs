@@ -40,13 +40,17 @@
 //!     .unwrap();
 //! let end = t0 + tx.airtime;
 //! let outcome = medium.finish_transmission(tx.id, end);
-//! assert_eq!(outcome.delivered.len(), 1);
-//! assert_eq!(outcome.delivered[0].0, NodeId(1));
+//! assert_eq!(outcome.delivered, vec![NodeId(1)]);
+//! // The payload lives in the medium's arena until released.
+//! let handle = outcome.payload.unwrap();
+//! assert_eq!(*medium.payload(handle), "hello");
+//! assert_eq!(medium.release_payload(handle), "hello");
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod csma;
 mod ids;
 mod link;
@@ -55,9 +59,10 @@ mod medium;
 mod packet;
 mod power;
 
-pub use csma::{Csma, CsmaAction, CsmaConfig};
+pub use arena::{PayloadArena, PayloadHandle};
+pub use csma::{Csma, CsmaAction, CsmaBank, CsmaConfig};
 pub use ids::NodeId;
-pub use link::LinkTable;
+pub use link::{FlatLinks, LinkTable};
 pub use medium::{Medium, MediumStats, RadioState, TxError, TxId, TxOutcome, TxStart};
 pub use packet::{airtime, Frame, FRAME_OVERHEAD_BYTES, MAX_PAYLOAD_BYTES, RADIO_BIT_RATE};
 pub use power::PowerLevel;

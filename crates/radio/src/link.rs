@@ -158,6 +158,116 @@ impl LinkTable {
     }
 }
 
+/// The link graph flattened into compressed-sparse-row form for the
+/// medium's hot path.
+///
+/// [`LinkTable`] is the build/mutation structure: per-node `Vec`s that are
+/// cheap to grow edge by edge. `FlatLinks` is its read-optimised shadow:
+/// each direction's adjacency packed into three dense arrays (row offsets,
+/// targets, bit error rates), so a neighbour walk touches two contiguous
+/// slices instead of chasing a `Vec<Vec<_>>` spine, and the carrier-sense
+/// scan over incoming sources reads a pure `NodeId` array with no
+/// interleaved `f64`s. Rows keep [`LinkTable`]'s sorted order, so walks
+/// over either structure visit edges identically — load-bearing for
+/// byte-identical replays.
+#[derive(Clone, Debug, Default)]
+pub struct FlatLinks {
+    /// `out_dst[out_off[a]..out_off[a+1]]` lists every `b` with `a → b`.
+    out_off: Vec<u32>,
+    out_dst: Vec<NodeId>,
+    /// `out_ber[i]` is the BER of the edge at `out_dst[i]`.
+    out_ber: Vec<f64>,
+    /// Reverse direction: `in_src[in_off[b]..in_off[b+1]]` lists every `a`
+    /// with `a → b`.
+    in_off: Vec<u32>,
+    in_src: Vec<NodeId>,
+}
+
+impl FlatLinks {
+    /// Flattens `table` into CSR form (both directions).
+    pub fn from_table(table: &LinkTable) -> Self {
+        let n = table.len();
+        let edges = table.edge_count();
+        let mut flat = FlatLinks {
+            out_off: Vec::with_capacity(n + 1),
+            out_dst: Vec::with_capacity(edges),
+            out_ber: Vec::with_capacity(edges),
+            in_off: Vec::with_capacity(n + 1),
+            in_src: Vec::with_capacity(edges),
+        };
+        flat.out_off.push(0);
+        flat.in_off.push(0);
+        for i in 0..n {
+            let node = NodeId::from_index(i);
+            for (dst, ber) in table.neighbors(node) {
+                flat.out_dst.push(dst);
+                flat.out_ber.push(ber);
+            }
+            flat.out_off.push(flat.out_dst.len() as u32);
+            for (src, _) in table.incoming(node) {
+                flat.in_src.push(src);
+            }
+            flat.in_off.push(flat.in_src.len() as u32);
+        }
+        flat
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.out_off.len().saturating_sub(1)
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The outgoing row of `from`: who can hear it, and at what BER, in
+    /// the same sorted order as [`LinkTable::neighbors`].
+    pub fn neighbors(&self, from: NodeId) -> (&[NodeId], &[f64]) {
+        let (lo, hi) = self.out_range(from);
+        (&self.out_dst[lo..hi], &self.out_ber[lo..hi])
+    }
+
+    /// Every transmitter `to` can hear, sorted — the reverse adjacency the
+    /// carrier-sense scan walks.
+    pub fn incoming_sources(&self, to: NodeId) -> &[NodeId] {
+        let i = to.index();
+        debug_assert!(i + 1 < self.in_off.len(), "unknown node {to}");
+        let lo = self.in_off[i] as usize;
+        let hi = self.in_off[i + 1] as usize;
+        &self.in_src[lo..hi]
+    }
+
+    /// The bit error rate of `from → to`, or `None` when `to` cannot hear
+    /// `from`. Binary search within the sorted row.
+    pub fn ber(&self, from: NodeId, to: NodeId) -> Option<f64> {
+        let (lo, hi) = self.out_range(from);
+        let row = &self.out_dst[lo..hi];
+        row.binary_search(&to).ok().map(|i| self.out_ber[lo + i])
+    }
+
+    /// Updates the BER of the existing edge `from → to` (the
+    /// fault-injection path; new edges cannot be added after flattening).
+    /// Returns whether the edge was found.
+    pub fn set_ber(&mut self, from: NodeId, to: NodeId, ber: f64) -> bool {
+        let (lo, hi) = self.out_range(from);
+        match self.out_dst[lo..hi].binary_search(&to) {
+            Ok(i) => {
+                self.out_ber[lo + i] = ber;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn out_range(&self, from: NodeId) -> (usize, usize) {
+        let i = from.index();
+        debug_assert!(i + 1 < self.out_off.len(), "unknown node {from}");
+        (self.out_off[i] as usize, self.out_off[i + 1] as usize)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,5 +370,40 @@ mod tests {
     fn bad_ber_rejected() {
         let mut t = LinkTable::new(2);
         t.connect(NodeId(0), NodeId(1), 1.5);
+    }
+
+    #[test]
+    fn flat_links_mirror_the_table() {
+        let mut t = LinkTable::new(5);
+        t.connect(NodeId(1), NodeId(4), 0.4);
+        t.connect(NodeId(1), NodeId(0), 0.1);
+        t.connect(NodeId(3), NodeId(1), 0.2);
+        t.connect(NodeId(0), NodeId(1), 0.3);
+        let flat = FlatLinks::from_table(&t);
+        assert_eq!(flat.len(), 5);
+        for i in 0..5 {
+            let node = NodeId::from_index(i);
+            let expect: Vec<(NodeId, f64)> = t.neighbors(node).collect();
+            let (dst, ber) = flat.neighbors(node);
+            let got: Vec<(NodeId, f64)> = dst.iter().copied().zip(ber.iter().copied()).collect();
+            assert_eq!(got, expect, "out row of {node}");
+            let expect_in: Vec<NodeId> = t.incoming(node).map(|(s, _)| s).collect();
+            assert_eq!(flat.incoming_sources(node), expect_in.as_slice());
+            for j in 0..5 {
+                let other = NodeId::from_index(j);
+                assert_eq!(flat.ber(node, other), t.ber(node, other));
+            }
+        }
+    }
+
+    #[test]
+    fn flat_links_set_ber_updates_existing_edges_only() {
+        let mut t = LinkTable::new(3);
+        t.connect(NodeId(0), NodeId(1), 0.1);
+        let mut flat = FlatLinks::from_table(&t);
+        assert!(flat.set_ber(NodeId(0), NodeId(1), 0.9));
+        assert_eq!(flat.ber(NodeId(0), NodeId(1)), Some(0.9));
+        assert!(!flat.set_ber(NodeId(0), NodeId(2), 0.5), "missing edge");
+        assert_eq!(flat.ber(NodeId(0), NodeId(2)), None);
     }
 }

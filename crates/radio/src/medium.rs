@@ -1,20 +1,27 @@
 //! The shared wireless medium: transmissions, collisions, radio states.
 
-use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
 
 use mnp_sim::profile::{self, Phase};
 use mnp_sim::{SimDuration, SimRng, SimTime};
 
+use crate::arena::{PayloadArena, PayloadHandle};
 use crate::ids::NodeId;
-use crate::link::LinkTable;
+use crate::link::{FlatLinks, LinkTable};
 use crate::loss::frame_success_probability;
 use crate::packet::Frame;
 
 /// Identifier of one in-flight transmission.
+///
+/// Generational: the medium recycles transmission slots through a free
+/// list, and finishing or aborting a transmission bumps its slot's
+/// generation, so a stale `TxId` can never silently address a later
+/// frame's slot.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub struct TxId(u64);
+pub struct TxId {
+    index: u32,
+    generation: u32,
+}
 
 /// Power state of one node's radio.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -81,17 +88,26 @@ pub struct TxStart {
 
 /// What happened to a finished transmission at each audible receiver.
 ///
-/// Delivered payloads are shared by reference-counted handle: one frame on
-/// the air is one payload, however many receivers decode it. Callers that
-/// drive the medium in a loop should reuse one `TxOutcome` via
-/// [`Medium::finish_transmission_into`] and [`TxOutcome::clear`] so the
-/// steady-state hot path performs no heap allocation.
+/// One frame on the air is one payload, however many receivers decode it:
+/// the payload stays in the medium's [`PayloadArena`] and the outcome
+/// carries its [`PayloadHandle`]. Read it with [`Medium::payload`], or
+/// consume it with [`Medium::release_payload`] so the slot recycles for a
+/// later frame. Callers that drive the medium in a loop should reuse one
+/// `TxOutcome` via [`Medium::finish_transmission_into`] and
+/// [`TxOutcome::clear`] so the steady-state hot path performs no heap
+/// allocation.
 #[derive(Clone, Debug)]
-pub struct TxOutcome<P> {
+pub struct TxOutcome {
     /// The transmitter.
     pub src: NodeId,
-    /// Receivers that got the frame intact, with a shared payload handle.
-    pub delivered: Vec<(NodeId, Rc<P>)>,
+    /// On-air duration of the finished frame (for receive-energy
+    /// accounting).
+    pub airtime: SimDuration,
+    /// Arena handle of the frame's payload. Always `Some` after
+    /// [`Medium::finish_transmission_into`]; the caller releases it.
+    pub payload: Option<PayloadHandle>,
+    /// Receivers that got the frame intact.
+    pub delivered: Vec<NodeId>,
     /// Receivers whose reception was corrupted by an overlapping
     /// transmission (collision / hidden terminal).
     pub corrupted: Vec<NodeId>,
@@ -99,31 +115,35 @@ pub struct TxOutcome<P> {
     pub missed: Vec<NodeId>,
 }
 
-impl<P> TxOutcome<P> {
+impl TxOutcome {
     /// An empty outcome (placeholder source), ready to be filled by
     /// [`Medium::finish_transmission_into`].
     pub fn new() -> Self {
         TxOutcome {
             src: NodeId(0),
+            airtime: SimDuration::ZERO,
+            payload: None,
             delivered: Vec::new(),
             corrupted: Vec::new(),
             missed: Vec::new(),
         }
     }
 
-    /// Empties the receiver lists, dropping any payload handles they hold.
+    /// Empties the receiver lists (keeping their capacities) and forgets
+    /// the payload handle.
     ///
-    /// Reusing a cleared outcome keeps its `Vec` capacities, and releasing
-    /// the payload handles lets the medium recycle the payload allocation
-    /// for a later transmission.
+    /// Clearing does **not** release the arena slot — take the handle and
+    /// pass it to [`Medium::release_payload`] first, or the payload stays
+    /// live in the arena.
     pub fn clear(&mut self) {
+        self.payload = None;
         self.delivered.clear();
         self.corrupted.clear();
         self.missed.clear();
     }
 }
 
-impl<P> Default for TxOutcome<P> {
+impl Default for TxOutcome {
     fn default() -> Self {
         TxOutcome::new()
     }
@@ -187,30 +207,128 @@ impl MediumStats {
     }
 }
 
-#[derive(Clone, Debug, Default)]
-struct RadioCell {
-    state: RadioState,
-    on_since: Option<SimTime>,
-    active_time: SimDuration,
-    /// Set when `state == Receiving`.
-    current_rx: Option<RxLock>,
-}
-
 #[derive(Clone, Copy, Debug)]
 struct RxLock {
     tx: TxId,
     corrupted: bool,
 }
 
-#[derive(Debug)]
-struct ActiveTx<P> {
-    src: NodeId,
-    /// On-air frame length in bits (drives the bit-error coin flip).
-    bits: u32,
-    /// The payload, shared with every receiver that decodes the frame.
-    payload: Rc<P>,
-    /// Nodes that locked onto this frame at its start.
-    listeners: Vec<NodeId>,
+/// Per-node radio state in struct-of-arrays layout, indexed by
+/// `NodeId::index()`.
+///
+/// The hot arrays (`states`, `current_rx`) are what the neighbour walk and
+/// carrier-sense scan touch per event; the power-accounting arrays
+/// (`on_since`, `active_time`) are only read when a radio toggles or a
+/// meter is finalised, so they live in separate allocations and stay out
+/// of the hot cache lines.
+#[derive(Debug, Default)]
+struct RadioBank {
+    /// 1-byte power state per node — the array `channel_busy` scans.
+    states: Vec<RadioState>,
+    /// The lock of each node in the `Receiving` state.
+    current_rx: Vec<Option<RxLock>>,
+    /// When the radio last powered on; `None` while off.
+    on_since: Vec<Option<SimTime>>,
+    /// Accumulated powered-on time over completed on-intervals.
+    active_time: Vec<SimDuration>,
+}
+
+impl RadioBank {
+    fn new(n: usize) -> Self {
+        RadioBank {
+            states: vec![RadioState::default(); n],
+            current_rx: vec![None; n],
+            on_since: vec![Some(SimTime::ZERO); n],
+            active_time: vec![SimDuration::ZERO; n],
+        }
+    }
+}
+
+/// Per-transmission state in struct-of-arrays layout over recycled slots.
+///
+/// A [`TxId`] is `{slot index, generation}`; releasing a slot bumps its
+/// generation, so "unknown or finished" ids are detected exactly, without
+/// a hash map on the hot path. Each slot keeps its listener `Vec` across
+/// recycles, so steady-state transmissions allocate nothing.
+#[derive(Debug, Default)]
+struct TxBank {
+    generations: Vec<u32>,
+    src: Vec<NodeId>,
+    bits: Vec<u32>,
+    airtime: Vec<SimDuration>,
+    payload: Vec<PayloadHandle>,
+    /// Nodes that locked onto the slot's frame at its start; cleared (with
+    /// capacity retained) when the slot is released.
+    listeners: Vec<Vec<NodeId>>,
+    free: Vec<u32>,
+}
+
+impl TxBank {
+    /// Opens a slot for a new transmission and returns its id.
+    fn alloc(
+        &mut self,
+        src: NodeId,
+        bits: u32,
+        airtime: SimDuration,
+        payload: PayloadHandle,
+    ) -> TxId {
+        match self.free.pop() {
+            Some(index) => {
+                let i = index as usize;
+                debug_assert!(self.listeners[i].is_empty());
+                self.src[i] = src;
+                self.bits[i] = bits;
+                self.airtime[i] = airtime;
+                self.payload[i] = payload;
+                TxId {
+                    index,
+                    generation: self.generations[i],
+                }
+            }
+            None => {
+                let index =
+                    u32::try_from(self.src.len()).expect("more than u32::MAX concurrent frames");
+                self.generations.push(0);
+                self.src.push(src);
+                self.bits.push(bits);
+                self.airtime.push(airtime);
+                self.payload.push(payload);
+                self.listeners.push(Vec::new());
+                TxId {
+                    index,
+                    generation: 0,
+                }
+            }
+        }
+    }
+
+    /// Resolves `id` to its slot index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transmission already finished or never existed.
+    fn index_of(&self, id: TxId) -> usize {
+        let i = id.index as usize;
+        assert!(
+            self.generations.get(i) == Some(&id.generation),
+            "unknown or finished TxId"
+        );
+        i
+    }
+
+    /// The transmitter behind a (possibly stale) id — the capture-effect
+    /// path compares a held lock's signal against a rival's.
+    fn src_of(&self, id: TxId) -> Option<NodeId> {
+        let i = id.index as usize;
+        (self.generations.get(i) == Some(&id.generation)).then(|| self.src[i])
+    }
+
+    /// Returns `slot` to the free list, invalidating its id.
+    fn release(&mut self, slot: usize) {
+        self.listeners[slot].clear();
+        self.generations[slot] = self.generations[slot].wrapping_add(1);
+        self.free.push(slot as u32);
+    }
 }
 
 /// The shared wireless medium over a [`LinkTable`].
@@ -220,6 +338,11 @@ struct ActiveTx<P> {
 /// errors. It is driven from outside by a discrete-event loop:
 /// [`Medium::start_transmission`] at the moment a frame hits the air, and
 /// [`Medium::finish_transmission`] exactly `airtime` later.
+///
+/// Internally the per-node and per-transmission state lives in dense
+/// struct-of-arrays banks ([`RadioBank`], [`TxBank`]) and payloads live in
+/// a generational [`PayloadArena`] — no shared-ownership pointers, so a
+/// `Medium` over a `Send` payload type is itself `Send`.
 ///
 /// # Collision model
 ///
@@ -235,41 +358,33 @@ struct ActiveTx<P> {
 /// See the crate-level example.
 #[derive(Debug)]
 pub struct Medium<P> {
+    /// The build/mutation view of the link graph (kept for queries).
     links: LinkTable,
-    radios: Vec<RadioCell>,
-    active: HashMap<TxId, ActiveTx<P>>,
+    /// The CSR shadow of `links` the hot path walks; kept in sync by
+    /// [`Medium::set_link_ber`].
+    flat: FlatLinks,
+    radios: RadioBank,
+    txs: TxBank,
+    payloads: PayloadArena<P>,
     stats: Vec<MediumStats>,
     rng: SimRng,
-    next_tx: u64,
     capture: bool,
-    /// Recycled listener buffers: one per concurrent transmission at the
-    /// high-water mark, so steady-state `start_transmission` never
-    /// allocates.
-    listener_pool: Vec<Vec<NodeId>>,
-    /// Recycled payload cells. A popped handle is overwritten in place when
-    /// every receiver has dropped its copy (the common case once the caller
-    /// clears its reused [`TxOutcome`]), and replaced otherwise.
-    payload_pool: Vec<Rc<P>>,
 }
 
 impl<P> Medium<P> {
     /// Creates a medium over `links` with every radio initially listening.
     pub fn new(links: LinkTable, rng: SimRng) -> Self {
         let n = links.len();
-        let mut radios = vec![RadioCell::default(); n];
-        for cell in &mut radios {
-            cell.on_since = Some(SimTime::ZERO);
-        }
+        let flat = FlatLinks::from_table(&links);
         Medium {
             links,
-            radios,
-            active: HashMap::new(),
+            flat,
+            radios: RadioBank::new(n),
+            txs: TxBank::default(),
+            payloads: PayloadArena::new(),
             stats: vec![MediumStats::default(); n],
             rng,
-            next_tx: 0,
             capture: false,
-            listener_pool: Vec::new(),
-            payload_pool: Vec::new(),
         }
     }
 
@@ -293,17 +408,44 @@ impl<P> Medium<P> {
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.radios.len()
+        self.radios.states.len()
     }
 
     /// Whether the medium has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.radios.is_empty()
+        self.radios.states.is_empty()
     }
 
     /// The link graph.
     pub fn links(&self) -> &LinkTable {
         &self.links
+    }
+
+    /// The payload arena holding every in-flight (and not yet released)
+    /// frame payload.
+    pub fn payload_arena(&self) -> &PayloadArena<P> {
+        &self.payloads
+    }
+
+    /// Reads the payload behind an outcome's handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale (already released).
+    pub fn payload(&self, handle: PayloadHandle) -> &P {
+        self.payloads
+            .get(handle)
+            .expect("stale payload handle: slot already released")
+    }
+
+    /// Consumes the payload behind an outcome's handle, recycling its
+    /// arena slot for a later transmission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale (double release).
+    pub fn release_payload(&mut self, handle: PayloadHandle) -> P {
+        self.payloads.take(handle)
     }
 
     /// Replaces the bit-error rate of the directed link `from -> to`
@@ -326,11 +468,13 @@ impl<P> Medium<P> {
             "link fault on a non-existent edge {from:?} -> {to:?}"
         );
         self.links.connect(from, to, ber);
+        let updated = self.flat.set_ber(from, to, ber);
+        debug_assert!(updated, "flat links out of sync with the table");
     }
 
     /// The radio state of `node`.
     pub fn radio_state(&self, node: NodeId) -> RadioState {
-        self.radios[node.index()].state
+        self.radios.states[node.index()]
     }
 
     /// Turns a node's radio on (wake) or off (sleep) at time `now`.
@@ -344,21 +488,22 @@ impl<P> Medium<P> {
     /// Panics if asked to power off a transmitting radio; the network layer
     /// defers protocol sleep requests until the MAC finishes its frame.
     pub fn set_radio(&mut self, node: NodeId, on: bool, now: SimTime) {
-        let cell = &mut self.radios[node.index()];
-        match (cell.state.is_on(), on) {
+        let i = node.index();
+        match (self.radios.states[i].is_on(), on) {
             (false, true) => {
-                cell.state = RadioState::Listening;
-                cell.on_since = Some(now);
+                self.radios.states[i] = RadioState::Listening;
+                self.radios.on_since[i] = Some(now);
             }
             (true, false) => {
                 assert!(
-                    cell.state != RadioState::Transmitting,
+                    self.radios.states[i] != RadioState::Transmitting,
                     "{node} cannot sleep mid-transmission"
                 );
-                cell.active_time += now.saturating_since(cell.on_since.take().expect("radio on"));
-                cell.state = RadioState::Off;
-                if cell.current_rx.take().is_some() {
-                    self.stats[node.index()].rx_aborted += 1;
+                let since = self.radios.on_since[i].take().expect("radio on");
+                self.radios.active_time[i] += now.saturating_since(since);
+                self.radios.states[i] = RadioState::Off;
+                if self.radios.current_rx[i].take().is_some() {
+                    self.stats[i].rx_aborted += 1;
                 }
             }
             _ => {}
@@ -370,32 +515,31 @@ impl<P> Medium<P> {
     /// This is the paper's *active radio time* metric (§4.2): "it decides
     /// the amount of energy that a node actually consumes".
     pub fn active_radio_time(&self, node: NodeId, now: SimTime) -> SimDuration {
-        let cell = &self.radios[node.index()];
-        let running = cell
-            .on_since
+        let i = node.index();
+        let running = self.radios.on_since[i]
             .map(|s| now.saturating_since(s))
             .unwrap_or(SimDuration::ZERO);
-        cell.active_time + running
+        self.radios.active_time[i] + running
     }
 
     /// Whether `node` senses the channel busy: it is receiving,
     /// transmitting, or can hear any in-flight transmission.
     ///
-    /// The listening case walks the reverse-adjacency index — the
+    /// The listening case walks the reverse-adjacency CSR row — the
     /// transmitters `node` can hear — in `O(in-degree)`, independent of how
     /// many transmissions are in flight network-wide.
     pub fn channel_busy(&self, node: NodeId) -> bool {
-        let cell = &self.radios[node.index()];
-        match cell.state {
+        match self.radios.states[node.index()] {
             RadioState::Off => false,
             RadioState::Receiving | RadioState::Transmitting => true,
-            // A node is Transmitting iff it has a frame in `active`, so
+            // A node is Transmitting iff it has a frame in flight, so
             // audible in-flight transmissions are exactly the audible
             // transmitters in the Transmitting state.
             RadioState::Listening => self
-                .links
-                .incoming(node)
-                .any(|(src, _)| self.radios[src.index()].state == RadioState::Transmitting),
+                .flat
+                .incoming_sources(node)
+                .iter()
+                .any(|&src| self.radios.states[src.index()] == RadioState::Transmitting),
         }
     }
 
@@ -416,45 +560,44 @@ impl<P> Medium<P> {
     ) -> Result<TxStart, TxError> {
         let _span = profile::span(Phase::MediumTx);
         assert_eq!(frame.src, src, "frame source must match transmitter");
-        {
-            let cell = &mut self.radios[src.index()];
-            match cell.state {
-                RadioState::Off => return Err(TxError::RadioOff(src)),
-                RadioState::Transmitting => return Err(TxError::AlreadyTransmitting(src)),
-                RadioState::Receiving => {
-                    // Forced send aborts the reception in progress.
-                    cell.current_rx = None;
-                    cell.state = RadioState::Transmitting;
-                    self.stats[src.index()].rx_aborted += 1;
-                }
-                RadioState::Listening => cell.state = RadioState::Transmitting,
+        match self.radios.states[src.index()] {
+            RadioState::Off => return Err(TxError::RadioOff(src)),
+            RadioState::Transmitting => return Err(TxError::AlreadyTransmitting(src)),
+            RadioState::Receiving => {
+                // Forced send aborts the reception in progress.
+                self.radios.current_rx[src.index()] = None;
+                self.radios.states[src.index()] = RadioState::Transmitting;
+                self.stats[src.index()].rx_aborted += 1;
             }
+            RadioState::Listening => self.radios.states[src.index()] = RadioState::Transmitting,
         }
-        let id = TxId(self.next_tx);
-        self.next_tx += 1;
         let airtime = frame.airtime();
         let bits = frame.bits();
         self.stats[src.index()].frames_sent += 1;
+        let payload = self.payloads.insert(frame.payload);
+        let id = self.txs.alloc(src, bits, airtime, payload);
+        let slot = id.index as usize;
 
-        let mut listeners = self.listener_pool.pop().unwrap_or_default();
-        debug_assert!(listeners.is_empty());
-        // Split borrows: the link graph is read while radio cells and stats
-        // are written, so the neighbor walk needs no temporary collection.
+        // Split borrows: the CSR link rows and the transmission bank's
+        // source/generation columns are read while radio state, stats and
+        // this slot's listener buffer are written, so the neighbour walk
+        // needs no temporary collection.
         let Medium {
-            links,
+            flat,
             radios,
-            active,
+            txs,
             stats,
             capture,
             ..
         } = &mut *self;
-        for (n, _) in links.neighbors(src) {
-            let cell = &mut radios[n.index()];
-            match cell.state {
+        let (dsts, _) = flat.neighbors(src);
+        let mut listeners = std::mem::take(&mut txs.listeners[slot]);
+        for &n in dsts {
+            match radios.states[n.index()] {
                 RadioState::Off | RadioState::Transmitting => {}
                 RadioState::Listening => {
-                    cell.state = RadioState::Receiving;
-                    cell.current_rx = Some(RxLock {
+                    radios.states[n.index()] = RadioState::Receiving;
+                    radios.current_rx[n.index()] = Some(RxLock {
                         tx: id,
                         corrupted: false,
                     });
@@ -466,12 +609,11 @@ impl<P> Medium<P> {
                     // corrupted and this frame is lost at `n` too. With
                     // capture, a much cleaner locked signal survives.
                     let survives = *capture
-                        && cell.current_rx.is_some_and(|lock| {
-                            let locked_src = active.get(&lock.tx).map(|tx| tx.src);
-                            match locked_src {
+                        && radios.current_rx[n.index()].is_some_and(|lock| {
+                            match txs.src_of(lock.tx) {
                                 Some(ls) => {
-                                    let cur = links.ber(ls, n).unwrap_or(1.0);
-                                    let new = links.ber(src, n).unwrap_or(1.0);
+                                    let cur = flat.ber(ls, n).unwrap_or(1.0);
+                                    let new = flat.ber(src, n).unwrap_or(1.0);
                                     // Order-of-magnitude BER advantage ≈
                                     // the ~6 dB power ratio real radios
                                     // need to capture.
@@ -481,7 +623,7 @@ impl<P> Medium<P> {
                             }
                         });
                     if !survives {
-                        if let Some(lock) = cell.current_rx.as_mut() {
+                        if let Some(lock) = radios.current_rx[n.index()].as_mut() {
                             if !lock.corrupted {
                                 lock.corrupted = true;
                             }
@@ -491,28 +633,7 @@ impl<P> Medium<P> {
                 }
             }
         }
-        let payload = match self.payload_pool.pop() {
-            // A pooled cell is exclusively ours once every receiver handle
-            // from its previous life has been dropped; write the new
-            // payload into it in place.
-            Some(mut cell) => match Rc::get_mut(&mut cell) {
-                Some(slot) => {
-                    *slot = frame.payload;
-                    cell
-                }
-                None => Rc::new(frame.payload),
-            },
-            None => Rc::new(frame.payload),
-        };
-        self.active.insert(
-            id,
-            ActiveTx {
-                src,
-                bits,
-                payload,
-                listeners,
-            },
-        );
+        self.txs.listeners[slot] = listeners;
         Ok(TxStart { id, airtime })
     }
 
@@ -520,12 +641,14 @@ impl<P> Medium<P> {
     /// audible receiver got.
     ///
     /// Allocates a fresh [`TxOutcome`]; hot loops should reuse one through
-    /// [`Medium::finish_transmission_into`] instead.
+    /// [`Medium::finish_transmission_into`] instead. Either way, the
+    /// returned outcome's payload handle stays live in the arena until the
+    /// caller passes it to [`Medium::release_payload`].
     ///
     /// # Panics
     ///
     /// Panics if `id` is unknown or already finished.
-    pub fn finish_transmission(&mut self, id: TxId, now: SimTime) -> TxOutcome<P> {
+    pub fn finish_transmission(&mut self, id: TxId, now: SimTime) -> TxOutcome {
         let mut outcome = TxOutcome::new();
         self.finish_transmission_into(id, now, &mut outcome);
         outcome
@@ -536,33 +659,35 @@ impl<P> Medium<P> {
     ///
     /// `out` is cleared first, so a caller-owned scratch outcome can be
     /// reused across calls; with a warmed-up medium this path performs no
-    /// heap allocation. Clear (or drop) `out` before the *next*
-    /// [`Medium::start_transmission`] so the payload cell can be recycled.
+    /// heap allocation. The payload handle placed in `out` stays live
+    /// until the caller consumes it with [`Medium::release_payload`] —
+    /// do that before clearing `out`, or the arena slot cannot recycle.
     ///
     /// # Panics
     ///
     /// Panics if `id` is unknown or already finished.
-    pub fn finish_transmission_into(&mut self, id: TxId, _now: SimTime, out: &mut TxOutcome<P>) {
+    pub fn finish_transmission_into(&mut self, id: TxId, _now: SimTime, out: &mut TxOutcome) {
         let _span = profile::span(Phase::MediumRx);
-        let mut tx = self.active.remove(&id).expect("unknown or finished TxId");
+        let slot = self.txs.index_of(id);
+        let src = self.txs.src[slot];
+        let bits = self.txs.bits[slot];
         // The transmitter returns to listening.
-        {
-            let cell = &mut self.radios[tx.src.index()];
-            debug_assert_eq!(cell.state, RadioState::Transmitting);
-            cell.state = RadioState::Listening;
-        }
+        debug_assert_eq!(self.radios.states[src.index()], RadioState::Transmitting);
+        self.radios.states[src.index()] = RadioState::Listening;
         out.clear();
-        out.src = tx.src;
-        for &l in &tx.listeners {
-            let cell = &mut self.radios[l.index()];
-            let lock = match cell.current_rx {
+        out.src = src;
+        out.airtime = self.txs.airtime[slot];
+        out.payload = Some(self.txs.payload[slot]);
+        let listeners = std::mem::take(&mut self.txs.listeners[slot]);
+        for &l in &listeners {
+            let lock = match self.radios.current_rx[l.index()] {
                 Some(lock) if lock.tx == id => lock,
                 // The listener slept, or aborted to transmit: frame lost
                 // (already counted as `rx_aborted` when the lock died).
                 _ => continue,
             };
-            cell.current_rx = None;
-            cell.state = RadioState::Listening;
+            self.radios.current_rx[l.index()] = None;
+            self.radios.states[l.index()] = RadioState::Listening;
             if lock.corrupted {
                 self.stats[l.index()].collisions += 1;
                 self.stats[l.index()].rx_corrupted += 1;
@@ -570,20 +695,21 @@ impl<P> Medium<P> {
                 continue;
             }
             let ber = self
-                .links
-                .ber(tx.src, l)
+                .flat
+                .ber(src, l)
                 .expect("listener implies audible link");
-            if self.rng.chance(frame_success_probability(ber, tx.bits)) {
+            if self.rng.chance(frame_success_probability(ber, bits)) {
                 self.stats[l.index()].frames_received += 1;
-                out.delivered.push((l, Rc::clone(&tx.payload)));
+                out.delivered.push(l);
             } else {
                 self.stats[l.index()].bit_error_losses += 1;
                 out.missed.push(l);
             }
         }
-        tx.listeners.clear();
-        self.listener_pool.push(tx.listeners);
-        self.payload_pool.push(tx.payload);
+        // Hand the listener buffer back to the slot (capacity retained)
+        // and recycle the slot; the payload stays live for the caller.
+        self.txs.listeners[slot] = listeners;
+        self.txs.release(slot);
     }
 
     /// Per-node medium statistics.
@@ -596,28 +722,28 @@ impl<P> Medium<P> {
     /// Listeners locked onto the frame receive nothing — a truncated frame
     /// fails its CRC — and return to listening. The transmitter's radio is
     /// left in the listening state; callers typically power it off next.
+    /// The frame's payload slot is released here.
     ///
     /// # Panics
     ///
     /// Panics if `id` is unknown or already finished.
     pub fn abort_transmission(&mut self, id: TxId, _now: SimTime) {
-        let mut tx = self.active.remove(&id).expect("unknown or finished TxId");
-        {
-            let cell = &mut self.radios[tx.src.index()];
-            debug_assert_eq!(cell.state, RadioState::Transmitting);
-            cell.state = RadioState::Listening;
-        }
-        for &l in &tx.listeners {
-            let cell = &mut self.radios[l.index()];
-            if matches!(cell.current_rx, Some(lock) if lock.tx == id) {
-                cell.current_rx = None;
-                cell.state = RadioState::Listening;
+        let slot = self.txs.index_of(id);
+        let src = self.txs.src[slot];
+        debug_assert_eq!(self.radios.states[src.index()], RadioState::Transmitting);
+        self.radios.states[src.index()] = RadioState::Listening;
+        let listeners = std::mem::take(&mut self.txs.listeners[slot]);
+        for &l in &listeners {
+            if matches!(self.radios.current_rx[l.index()], Some(lock) if lock.tx == id) {
+                self.radios.current_rx[l.index()] = None;
+                self.radios.states[l.index()] = RadioState::Listening;
                 self.stats[l.index()].rx_aborted += 1;
             }
         }
-        tx.listeners.clear();
-        self.listener_pool.push(tx.listeners);
-        self.payload_pool.push(tx.payload);
+        self.txs.listeners[slot] = listeners;
+        // Nobody will ever read a truncated frame's payload.
+        drop(self.payloads.take(self.txs.payload[slot]));
+        self.txs.release(slot);
     }
 }
 
@@ -678,10 +804,11 @@ mod tests {
         let t0 = SimTime::ZERO;
         let tx = m.start_transmission(NodeId(0), frame(0, 7), t0).unwrap();
         let out = m.finish_transmission(tx.id, t0 + tx.airtime);
-        let mut got: Vec<u16> = out.delivered.iter().map(|(n, _)| n.0).collect();
+        let mut got: Vec<u16> = out.delivered.iter().map(|n| n.0).collect();
         got.sort_unstable();
         assert_eq!(got, vec![1, 2, 3]);
         assert!(out.corrupted.is_empty() && out.missed.is_empty());
+        assert_eq!(*m.payload(out.payload.unwrap()), 7);
         assert_eq!(m.stats(NodeId(1)).frames_received, 1);
         assert_eq!(m.stats(NodeId(0)).frames_sent, 1);
     }
@@ -793,16 +920,23 @@ mod tests {
         links.connect(NodeId(0), NodeId(1), ber);
         let mut m: Medium<u32> = Medium::new(links, SimRng::new(17));
         let mut delivered = 0;
+        let mut out = TxOutcome::new();
         let mut t = SimTime::ZERO;
         for i in 0..2_000 {
             let tx = m.start_transmission(NodeId(0), frame(0, i), t).unwrap();
             t += tx.airtime;
-            let out = m.finish_transmission(tx.id, t);
+            m.finish_transmission_into(tx.id, t, &mut out);
             delivered += out.delivered.len();
+            m.release_payload(out.payload.take().expect("outcome carries payload"));
         }
         assert!(
             (800..1200).contains(&delivered),
             "≈50% delivery expected, got {delivered}/2000"
+        );
+        assert_eq!(
+            m.payload_arena().live(),
+            0,
+            "every payload released after its frame resolved"
         );
     }
 
@@ -860,7 +994,7 @@ mod tests {
         assert_eq!(m.stats(NodeId(1)).rx_aborted, 1);
         let out0 = m.finish_transmission(tx0.id, t0 + tx0.airtime);
         // Node 1 aborted: neither delivered nor counted corrupted there.
-        assert!(!out0.delivered.iter().any(|(n, _)| *n == NodeId(1)));
+        assert!(!out0.delivered.contains(&NodeId(1)));
         assert!(!out0.corrupted.contains(&NodeId(1)));
         // Node 2 was corrupted by the overlap.
         assert!(out0.corrupted.contains(&NodeId(2)));
@@ -868,24 +1002,24 @@ mod tests {
     }
 
     #[test]
-    fn payload_cell_is_recycled_across_transmissions() {
+    fn payload_slot_is_recycled_across_transmissions() {
         let mut m = clique(2);
         let mut out = TxOutcome::new();
         let t0 = SimTime::ZERO;
         let tx = m.start_transmission(NodeId(0), frame(0, 1), t0).unwrap();
         m.finish_transmission_into(tx.id, t0 + tx.airtime, &mut out);
-        let first = Rc::as_ptr(&out.delivered[0].1);
-        // Releasing the handles lets the pool hand the same cell back.
+        assert_eq!(m.release_payload(out.payload.take().unwrap()), 1);
+        // Releasing the handle lets the arena hand the same slot back.
         out.clear();
         let t1 = t0 + tx.airtime;
         let tx = m.start_transmission(NodeId(0), frame(0, 2), t1).unwrap();
         m.finish_transmission_into(tx.id, t1 + tx.airtime, &mut out);
         assert_eq!(
-            Rc::as_ptr(&out.delivered[0].1),
-            first,
-            "freed payload cell is reused in place"
+            m.payload_arena().slot_count(),
+            1,
+            "freed payload slot is reused in place"
         );
-        assert_eq!(*out.delivered[0].1, 2);
+        assert_eq!(*m.payload(out.payload.unwrap()), 2);
     }
 
     #[test]
@@ -894,14 +1028,29 @@ mod tests {
         let t0 = SimTime::ZERO;
         let tx = m.start_transmission(NodeId(0), frame(0, 7), t0).unwrap();
         let out = m.finish_transmission(tx.id, t0 + tx.airtime);
-        let held = Rc::clone(&out.delivered[0].1);
-        // The pooled cell is still shared, so the next transmission must
-        // get a fresh cell rather than overwrite this one.
+        let held = out.payload.unwrap();
+        // The slot is still live, so the next transmission must get a
+        // fresh slot rather than overwrite this one.
         let t1 = t0 + tx.airtime;
         let tx = m.start_transmission(NodeId(0), frame(0, 8), t1).unwrap();
         let out2 = m.finish_transmission(tx.id, t1 + tx.airtime);
-        assert_eq!(*held, 7);
-        assert_eq!(*out2.delivered[0].1, 8);
+        assert_eq!(*m.payload(held), 7);
+        assert_eq!(*m.payload(out2.payload.unwrap()), 8);
+        assert_eq!(m.payload_arena().slot_count(), 2);
+        // Releasing in any order is safe; stale re-reads are detected.
+        assert_eq!(m.release_payload(held), 7);
+        assert_eq!(m.payload_arena().get(held), None);
+    }
+
+    #[test]
+    fn aborted_payloads_are_released_by_the_medium() {
+        let mut m = clique(2);
+        let tx = m
+            .start_transmission(NodeId(0), frame(0, 1), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(m.payload_arena().live(), 1);
+        m.abort_transmission(tx.id, SimTime::ZERO + SimDuration::from_millis(1));
+        assert_eq!(m.payload_arena().live(), 0);
     }
 
     /// Every reception lock resolves exactly once: delivered, corrupted,
@@ -936,7 +1085,7 @@ mod tests {
             let tx = m.start_transmission(src, frame(src.0, tag), t).unwrap();
             (tx, new_locks)
         };
-        let absorb = |out: &TxOutcome<u32>| {
+        let absorb = |out: &TxOutcome| {
             (
                 out.delivered.len() as u64,
                 out.corrupted.len() as u64,
@@ -1123,6 +1272,23 @@ mod abort_tests {
         m.abort_transmission(tx.id, SimTime::ZERO);
         m.abort_transmission(tx.id, SimTime::ZERO);
     }
+
+    #[test]
+    #[should_panic(expected = "unknown or finished TxId")]
+    fn finish_after_finish_panics_even_when_the_slot_was_recycled() {
+        let mut m = clique(2);
+        let t0 = SimTime::ZERO;
+        let tx = m
+            .start_transmission(NodeId(0), Frame::new(NodeId(0), 10, 1u32), t0)
+            .unwrap();
+        m.finish_transmission(tx.id, t0);
+        // A new transmission reuses the slot with a fresh generation...
+        let _tx2 = m
+            .start_transmission(NodeId(0), Frame::new(NodeId(0), 10, 2u32), t0)
+            .unwrap();
+        // ...so the stale id still fails loudly.
+        m.finish_transmission(tx.id, t0);
+    }
 }
 
 #[cfg(test)]
@@ -1170,7 +1336,7 @@ mod capture_tests {
             .unwrap();
         let out0 = m.finish_transmission(tx0.id, t0 + tx0.airtime);
         assert_eq!(out0.delivered.len(), 1, "capture keeps the clean frame");
-        assert_eq!(out0.delivered[0].0, NodeId(2));
+        assert_eq!(out0.delivered[0], NodeId(2));
         m.finish_transmission(tx1.id, t0 + tx1.airtime);
     }
 

@@ -43,7 +43,7 @@ use std::cell::Cell;
 use std::time::Instant;
 
 /// Number of instrumented phases (length of [`Phase::ALL`]).
-pub const PHASE_COUNT: usize = 11;
+pub const PHASE_COUNT: usize = 13;
 
 /// Deepest span nesting for which self-time is tracked exactly. Spans
 /// nested deeper still accumulate calls and total time, but their parents
@@ -79,6 +79,12 @@ pub enum Phase {
     FaultExpand = 9,
     /// Time-series sampler snapshots taken inside the run loop.
     Sample = 10,
+    /// Payload-arena slot allocation at transmission start (nested under
+    /// `MediumTx`).
+    ArenaAlloc = 11,
+    /// Payload-arena slot release when a delivered payload is consumed
+    /// or an aborted frame is discarded.
+    ArenaFree = 12,
 }
 
 impl Phase {
@@ -95,6 +101,8 @@ impl Phase {
         Phase::Observe,
         Phase::FaultExpand,
         Phase::Sample,
+        Phase::ArenaAlloc,
+        Phase::ArenaFree,
     ];
 
     /// Stable snake_case label used in reports and JSON output.
@@ -111,6 +119,8 @@ impl Phase {
             Phase::Observe => "observe",
             Phase::FaultExpand => "fault_expand",
             Phase::Sample => "sample",
+            Phase::ArenaAlloc => "arena_alloc",
+            Phase::ArenaFree => "arena_free",
         }
     }
 }

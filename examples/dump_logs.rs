@@ -1,0 +1,67 @@
+//! Dumps the seeded JSONL event logs of the determinism seed set to a
+//! directory, so a refactor can prove wire behaviour unchanged by diffing
+//! the files produced before and after:
+//!
+//! ```text
+//! cargo run --release --example dump_logs -- /tmp/logs_before
+//! # ... refactor ...
+//! cargo run --release --example dump_logs -- /tmp/logs_after
+//! diff -r /tmp/logs_before /tmp/logs_after
+//! ```
+//!
+//! The scenarios mirror `tests/determinism.rs`: MNP and Deluge on a 4×4
+//! grid, with and without a fault plan, plus the capture-effect variant.
+
+use mnp_repro::prelude::*;
+
+fn fault_plan() -> FaultPlan {
+    FaultPlan::seeded(5)
+        .crash_restart(NodeId(5), SimTime::from_secs(12), SimDuration::from_secs(9))
+        .link_flap(
+            NodeId(0),
+            NodeId(1),
+            SimTime::from_secs(6),
+            SimDuration::from_secs(4),
+            1.0,
+        )
+        .storage_faults(NodeId(3), SimTime::from_secs(4), 2)
+        .random_crash_restarts(
+            2,
+            &[NodeId(2), NodeId(7), NodeId(11)],
+            (SimTime::from_secs(5), SimTime::from_secs(60)),
+            (SimDuration::from_secs(3), SimDuration::from_secs(12)),
+        )
+}
+
+fn main() {
+    let dir = std::env::args().nth(1).expect("usage: dump_logs OUT_DIR");
+    std::fs::create_dir_all(&dir).expect("create output directory");
+
+    let scenarios: [(&str, u64, bool, bool); 6] = [
+        ("mnp_seed77", 77, false, false),
+        ("mnp_seed78", 78, false, false),
+        ("mnp_seed77_faults", 77, true, false),
+        ("mnp_seed77_capture", 77, false, true),
+        ("deluge_seed77", 77, false, false),
+        ("deluge_seed78", 78, false, false),
+    ];
+    for (name, seed, faulted, capture) in scenarios {
+        let log = Shared::new(JsonlLogger::new());
+        let mut scenario = GridExperiment::new(4, 4, 10.0)
+            .segments(1)
+            .seed(seed)
+            .capture(capture);
+        if faulted {
+            scenario = scenario.faults(fault_plan());
+        }
+        let out = if name.starts_with("deluge") {
+            scenario.run_deluge_observed(|_| {}, vec![Box::new(log.clone())])
+        } else {
+            scenario.run_mnp_observed(|_| {}, vec![Box::new(log.clone())])
+        };
+        assert!(out.completed, "{name} did not complete");
+        let path = format!("{dir}/{name}.jsonl");
+        std::fs::write(&path, log.borrow().as_str()).expect("write log");
+        println!("wrote {path}");
+    }
+}
