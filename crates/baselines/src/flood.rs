@@ -357,7 +357,7 @@ mod tests {
         // other, so their concurrent rebroadcasts collide at the bridge.
         let img = image();
         let mut links = LinkTable::new(5);
-        for (a, b) in [(0u16, 1), (0, 2), (1, 2), (3, 4), (3, 2), (4, 2)] {
+        for (a, b) in [(0u32, 1), (0, 2), (1, 2), (3, 4), (3, 2), (4, 2)] {
             links.connect(NodeId(a), NodeId(b), 0.0);
             links.connect(NodeId(b), NodeId(a), 0.0);
         }
@@ -377,8 +377,8 @@ mod tests {
         let ber = 1.0 - 0.85f64.powf(1.0 / 376.0);
         let img = image();
         let mut links = clique(6);
-        for a in 0..6u16 {
-            for b in 0..6u16 {
+        for a in 0..6u32 {
+            for b in 0..6u32 {
                 if a != b {
                     links.connect(NodeId(a), NodeId(b), ber);
                 }
@@ -407,7 +407,7 @@ mod tests {
         // corrupt stored data.
         let img = image();
         let mut links = LinkTable::new(3);
-        for (a, b) in [(0u16, 1u16), (1, 0), (1, 2), (2, 1)] {
+        for (a, b) in [(0u32, 1u32), (1, 0), (1, 2), (2, 1)] {
             links.connect(NodeId(a), NodeId(b), 0.0);
         }
         let mut net = build(links, &img, 3);

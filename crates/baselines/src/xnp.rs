@@ -315,7 +315,7 @@ mod tests {
         // 0 — 1 — 2 line: node 2 is two hops out; XNP cannot reach it.
         let img = image();
         let mut links = LinkTable::new(3);
-        for (a, b) in [(0u16, 1u16), (1, 0), (1, 2), (2, 1)] {
+        for (a, b) in [(0u32, 1u32), (1, 0), (1, 2), (2, 1)] {
             links.connect(NodeId(a), NodeId(b), 0.0);
         }
         let mut net = build(links, &img, 2);

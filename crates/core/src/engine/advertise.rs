@@ -191,7 +191,7 @@ mod tests {
         let mut a = AdvertiseScheduler::new();
         a.begin_round(seg);
         for i in 0..req_ctr {
-            a.note_request(NodeId(100 + u16::from(i)));
+            a.note_request(NodeId(100 + u32::from(i)));
         }
         a
     }

@@ -228,7 +228,7 @@ fn disconnected_node_never_completes() {
     // Two connected nodes plus an isolated third.
     let links = {
         let mut l = LinkTable::new(3);
-        for (a, b) in [(0u16, 1u16), (1, 0)] {
+        for (a, b) in [(0u32, 1u32), (1, 0)] {
             l.connect(NodeId(a), NodeId(b), 0.0);
         }
         l

@@ -8,8 +8,8 @@
 //!                [--events PATH] [--metrics PATH] [--timeline PATH]
 //!                [--check-invariants]
 //!        mnp-run scale [--seed N] [--segments N] [--out PATH]
-//!                      [--grids RxC,RxC,...]
-//!                      [--history PATH] [--compare]
+//!                      [--grids RxC[@SHARDS],...] [--shards A,B,...]
+//!                      [--history PATH] [--allow-dirty] [--compare]
 //!        mnp-run profile [--rows N] [--cols N] [--segments N] [--seed N]
 //!                        [--stride N] [--sample-ms MS] [--top N]
 //!                        [--out PATH] [--series PATH] [--timeline PATH]
@@ -51,11 +51,17 @@
 //! allocator so the benchmark can prove the radio hot path allocates
 //! nothing in steady state; the counting is two relaxed atomic increments
 //! per allocation and does not perturb the measured wall times
-//! meaningfully. With `--history PATH` each row is also appended to a
-//! JSONL history file, and `--compare` first checks the fresh rows
-//! against the last matching history row, exiting non-zero when
-//! throughput regressed by more than 10% or the steady-state hot path
-//! started allocating (DESIGN.md §12).
+//! meaningfully. Each grid is measured once per `--shards` entry
+//! (default: sequential and 8-way sharded; a `RxC@S` grid spec pins that
+//! grid to a single shard count instead). With `--history PATH` each row
+//! is also appended to a JSONL history file — refused from a dirty
+//! working tree unless `--allow-dirty` is passed, so every history row's
+//! git stamp identifies the exact measured commit — and `--compare`
+//! first checks the fresh rows against the last matching history row,
+//! exiting non-zero when throughput regressed by more than 10%, the
+//! steady-state hot path started allocating, or the largest grid's
+//! throughput fell below [`scale::SCALING_FLOOR`] of the smallest's at
+//! the highest shard count (DESIGN.md §12, §14).
 //!
 //! `mnp-run profile` runs one seeded dissemination with the kernel span
 //! profiler enabled (`mnp_sim::profile`) and a time-series sampler
@@ -198,7 +204,7 @@ impl Args {
     }
 }
 
-const USAGE: &str = "Usage: mnp-run [--rows N] [--cols N] [--spacing FT] [--segments N]\n               [--power LEVEL] [--seed N] [--seeds A,B,...]\n               [--protocol mnp|deluge]\n               [--capture] [--heatmap] [--parents]\n               [--events PATH] [--metrics PATH] [--timeline PATH]\n               [--check-invariants]\n       mnp-run scale [--seed N] [--segments N] [--out PATH]\n                     [--grids RxC,RxC,...]\n                     [--history PATH] [--compare]\n       mnp-run profile [--rows N] [--cols N] [--segments N] [--seed N]\n                       [--stride N] [--sample-ms MS] [--top N]\n                       [--out PATH] [--series PATH] [--timeline PATH]\n       mnp-run report OLD NEW\n       mnp-run chaos [--seed N] [--grid N] [--crashes A,B,...]\n                     [--flaps A,B,...]\n       mnp-run fuzz [--runs N] [--seed N] [--policy fifo|permute]\n                    [--shrink-budget N] [--out PATH]\n       mnp-run repro PATH";
+const USAGE: &str = "Usage: mnp-run [--rows N] [--cols N] [--spacing FT] [--segments N]\n               [--power LEVEL] [--seed N] [--seeds A,B,...]\n               [--protocol mnp|deluge]\n               [--capture] [--heatmap] [--parents]\n               [--events PATH] [--metrics PATH] [--timeline PATH]\n               [--check-invariants]\n       mnp-run scale [--seed N] [--segments N] [--out PATH]\n                     [--grids RxC[@SHARDS],...] [--shards A,B,...]\n                     [--history PATH] [--allow-dirty] [--compare]\n       mnp-run profile [--rows N] [--cols N] [--segments N] [--seed N]\n                       [--stride N] [--sample-ms MS] [--top N]\n                       [--out PATH] [--series PATH] [--timeline PATH]\n       mnp-run report OLD NEW\n       mnp-run chaos [--seed N] [--grid N] [--crashes A,B,...]\n                     [--flaps A,B,...]\n       mnp-run fuzz [--runs N] [--seed N] [--policy fifo|permute]\n                    [--shrink-budget N] [--out PATH]\n       mnp-run repro PATH";
 
 fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String>
 where
@@ -366,7 +372,13 @@ fn run_scale(mut it: impl Iterator<Item = String>) -> Result<ExitCode, String> {
     let mut out_path = String::from("BENCH_scale.json");
     let mut history_path: Option<String> = None;
     let mut compare = false;
-    let mut grids: Vec<(usize, usize)> = scale::DEFAULT_GRIDS.to_vec();
+    let mut allow_dirty = false;
+    let mut shard_counts: Vec<usize> = scale::DEFAULT_SHARD_COUNTS.to_vec();
+    // A `None` shard override means "measure at every --shards count".
+    let mut grids: Vec<(usize, usize, Option<usize>)> = scale::DEFAULT_GRIDS
+        .iter()
+        .map(|&(r, c)| (r, c, None))
+        .collect();
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
@@ -374,15 +386,26 @@ fn run_scale(mut it: impl Iterator<Item = String>) -> Result<ExitCode, String> {
             "--segments" => segments = parse(&value("--segments")?)?,
             "--out" => out_path = value("--out")?,
             "--history" => history_path = Some(value("--history")?),
+            "--allow-dirty" => allow_dirty = true,
             "--compare" => compare = true,
+            "--shards" => {
+                shard_counts = value("--shards")?
+                    .split(',')
+                    .map(parse)
+                    .collect::<Result<_, _>>()?;
+            }
             "--grids" => {
                 grids = value("--grids")?
                     .split(',')
                     .map(|g| {
+                        let (g, s) = match g.split_once('@') {
+                            Some((g, s)) => (g, Some(parse(s)?)),
+                            None => (g, None),
+                        };
                         let (r, c) = g
                             .split_once('x')
-                            .ok_or_else(|| format!("bad grid {g:?}: want RxC"))?;
-                        Ok((parse(r)?, parse(c)?))
+                            .ok_or_else(|| format!("bad grid {g:?}: want RxC or RxC@SHARDS"))?;
+                        Ok((parse(r)?, parse(c)?, s))
                     })
                     .collect::<Result<_, String>>()?;
             }
@@ -393,12 +416,32 @@ fn run_scale(mut it: impl Iterator<Item = String>) -> Result<ExitCode, String> {
     if grids.is_empty() {
         return Err("--grids needs at least one grid".into());
     }
+    if shard_counts.is_empty() {
+        return Err("--shards needs at least one shard count".into());
+    }
+    // Check provenance before spending minutes measuring: a history row
+    // is append-only forever, and one stamped `<hash>-dirty` names code
+    // that can never be checked out again.
+    if history_path.is_some() && !allow_dirty && scale::git_is_dirty() {
+        return Err(
+            "refusing --history append from a dirty working tree: the recorded git \
+             stamp would not identify the measured code. Commit first, or pass \
+             --allow-dirty to record the row anyway."
+                .into(),
+        );
+    }
 
-    let mut measurements = Vec::with_capacity(grids.len());
-    for &(rows, cols) in &grids {
-        let m = scale::measure(rows, cols, segments, seed, &alloc_counters);
-        print!("{m}");
-        measurements.push(m);
+    let mut measurements = Vec::with_capacity(grids.len() * shard_counts.len());
+    for &(rows, cols, pinned) in &grids {
+        let counts: &[usize] = match &pinned {
+            Some(s) => std::slice::from_ref(s),
+            None => &shard_counts,
+        };
+        for &shards in counts {
+            let m = scale::measure(rows, cols, segments, seed, shards, &alloc_counters);
+            print!("{m}");
+            measurements.push(m);
+        }
     }
     let steady_clean = measurements.iter().all(|m| m.steady_state_allocs == 0);
     if !steady_clean {
@@ -425,28 +468,32 @@ fn run_scale(mut it: impl Iterator<Item = String>) -> Result<ExitCode, String> {
         // least SCALING_FLOOR of the base grid's, or the kernel stopped
         // scaling and --compare fails even with no history to diff.
         if let Some(sc) = scale::scaling_summary(&measurements) {
-            if sc.events_per_sec_ratio < scale::SCALING_FLOOR {
+            if !sc.flat_or_rising {
                 eprintln!(
-                    "regression: events/s fell {:.0}% from {}x{} to {}x{} \
+                    "regression: events/s fell {:.0}% from {}x{} to {}x{} at {} shard(s) \
                      (ratio {:.3} < floor {:.2})",
                     (1.0 - sc.events_per_sec_ratio) * 100.0,
                     sc.base.0,
                     sc.base.1,
                     sc.top.0,
                     sc.top.1,
+                    sc.shards,
                     sc.events_per_sec_ratio,
                     scale::SCALING_FLOOR,
                 );
                 regressed = true;
             } else {
                 println!(
-                    "scaling: {}x{} holds {:.0}% of {}x{} events/s (floor {:.0}%)",
+                    "scaling: {}x{} holds {:.0}% of {}x{} events/s at {} shard(s) \
+                     (ratio {:.3}, floor {:.2})",
                     sc.top.0,
                     sc.top.1,
                     sc.events_per_sec_ratio * 100.0,
                     sc.base.0,
                     sc.base.1,
-                    scale::SCALING_FLOOR * 100.0,
+                    sc.shards,
+                    sc.events_per_sec_ratio,
+                    scale::SCALING_FLOOR,
                 );
             }
         }

@@ -115,7 +115,7 @@ mod tests {
 
     #[test]
     fn mnp_shows_no_large_diagonal_penalty() {
-        let diag = run_with(7, 61);
+        let diag = run_with(7, 62);
         let mnp = &diag.rows[0];
         let slow = mnp.slowdown();
         assert!(

@@ -92,7 +92,7 @@ mod tests {
 
     #[test]
     fn base_station_sends_the_most() {
-        let fig = fig08::run_with(5, 5, 1, 21);
+        let fig = fig08::run_with(5, 5, 1, 22);
         let r = report(&fig.outcome);
         let (top, _) = r.top_sender();
         assert_eq!(top, 0, "all data originates at the base station");

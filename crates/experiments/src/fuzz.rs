@@ -48,7 +48,7 @@ pub enum FaultSpec {
     /// Node dies at `at` and restarts `down` later (RAM lost, flash kept).
     CrashRestart {
         /// The crashing node.
-        node: u16,
+        node: u32,
         /// Crash instant.
         at: SimTime,
         /// Outage length.
@@ -58,9 +58,9 @@ pub enum FaultSpec {
     /// rate at `at`, restored `down` later.
     LinkFlap {
         /// Transmitting end of the flapped edge.
-        from: u16,
+        from: u32,
         /// Receiving end of the flapped edge.
-        to: u16,
+        to: u32,
         /// Flap instant.
         at: SimTime,
         /// Outage length.
@@ -72,7 +72,7 @@ pub enum FaultSpec {
     /// The node's next `failures` EEPROM writes fail transiently from `at`.
     StorageFaults {
         /// The faulting node.
-        node: u16,
+        node: u32,
         /// Injection instant.
         at: SimTime,
         /// Number of consecutive write failures.
@@ -97,6 +97,10 @@ pub struct FuzzScenario {
     pub tie_seed: Option<u64>,
     /// Simulation deadline.
     pub deadline: SimTime,
+    /// Shard count of the simulation kernel. The schedule is identical at
+    /// any value — fuzzing it exercises the sharded lockstep merge under
+    /// schedules (permuted tie-breaks, faults) the unit tests never draw.
+    pub shards: usize,
     /// Transient faults injected into the run.
     pub faults: Vec<FaultSpec>,
 }
@@ -142,7 +146,7 @@ impl fmt::Display for FuzzScenario {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}x{} grid, {} seg, seed {}, {}, {} fault(s), deadline {:.0}s",
+            "{}x{} grid, {} seg, seed {}, {}, {} shard(s), {} fault(s), deadline {:.0}s",
             self.rows,
             self.cols,
             self.segments,
@@ -151,6 +155,7 @@ impl fmt::Display for FuzzScenario {
                 Some(s) => format!("permute({s})"),
                 None => "fifo".into(),
             },
+            self.shards,
             self.faults.len(),
             self.deadline.as_secs_f64(),
         )
@@ -243,7 +248,7 @@ impl Verdict {
 /// Data collected from a run that finished without panicking.
 struct RunData {
     completed: bool,
-    incomplete: Vec<u16>,
+    incomplete: Vec<u32>,
     medium: Vec<MediumStats>,
     stats: Vec<MnpStats>,
 }
@@ -343,6 +348,7 @@ fn run_once(sc: &FuzzScenario, monitor: Box<dyn Observer + Send>) -> Result<RunD
     let mut net = NetworkBuilder::new(topo.links, sc.seed)
         .tie_break(sc.tie_break())
         .faults(sc.fault_plan())
+        .shards(sc.shards)
         .observer(monitor)
         .try_build(|id, _| {
             if id == NodeId(0) {
@@ -360,7 +366,7 @@ fn run_once(sc: &FuzzScenario, monitor: Box<dyn Observer + Send>) -> Result<RunD
         .map(|id| id.0)
         .collect();
     let medium = (0..n)
-        .map(|i| net.medium().stats(NodeId::from_index(i)))
+        .map(|i| net.medium_stats(NodeId::from_index(i)))
         .collect();
     let stats = (0..n)
         .map(|i| net.protocol(NodeId::from_index(i)).stats)
@@ -415,6 +421,9 @@ pub fn generate(fuzz_seed: u64, index: u64, permute: bool) -> FuzzScenario {
     let rows = 3 + rng.index(3);
     let cols = 3 + rng.index(3);
     let segments = 1 + rng.index(2) as u16;
+    // 1 = the sequential kernel; >1 exercises the sharded lockstep merge,
+    // which must replay the sequential schedule byte for byte.
+    let shards = 1 + rng.index(4);
     // Redraw the experiment seed until the sampled topology is viable
     // (full power at 10 ft almost always is; the bound is a formality).
     let mut seed = rng.next_u64();
@@ -437,7 +446,7 @@ pub fn generate(fuzz_seed: u64, index: u64, permute: bool) -> FuzzScenario {
     let links = links.expect("no viable topology in 32 draws (full power, 10 ft)");
 
     let n = rows * cols;
-    let edges: Vec<(u16, u16)> = (0..n)
+    let edges: Vec<(u32, u32)> = (0..n)
         .map(NodeId::from_index)
         .flat_map(|from| links.neighbors(from).map(move |(to, _)| (from.0, to.0)))
         .collect();
@@ -447,7 +456,7 @@ pub fn generate(fuzz_seed: u64, index: u64, permute: bool) -> FuzzScenario {
         let at = SimTime::from_micros(rng.range_u64(window.0.as_micros(), window.1.as_micros()));
         faults.push(match rng.index(3) {
             0 => FaultSpec::CrashRestart {
-                node: 1 + rng.index(n - 1) as u16,
+                node: 1 + rng.index(n - 1) as u32,
                 at,
                 down: SimDuration::from_secs(rng.range_u64(5, 180)),
             },
@@ -462,7 +471,7 @@ pub fn generate(fuzz_seed: u64, index: u64, permute: bool) -> FuzzScenario {
                 }
             }
             _ => FaultSpec::StorageFaults {
-                node: 1 + rng.index(n - 1) as u16,
+                node: 1 + rng.index(n - 1) as u32,
                 at,
                 failures: 1 + rng.index(3) as u32,
             },
@@ -475,6 +484,7 @@ pub fn generate(fuzz_seed: u64, index: u64, permute: bool) -> FuzzScenario {
         seed,
         tie_seed: permute.then(|| rng.next_u64()),
         deadline: SimTime::from_secs(4 * 3_600),
+        shards,
         faults,
     }
 }
@@ -532,6 +542,13 @@ pub fn shrink(
             cand.segments -= 1;
             improved |= try_accept(cand, &mut best, &mut spent);
         }
+        // A repro that still fails on the sequential kernel is strictly
+        // easier to debug than a sharded one.
+        if best.shards > 1 {
+            let mut cand = best.clone();
+            cand.shards = 1;
+            improved |= try_accept(cand, &mut best, &mut spent);
+        }
         if kind != FailureKind::Liveness && best.deadline > SimTime::from_secs(600) {
             let mut cand = best.clone();
             cand.deadline = SimTime::from_micros(best.deadline.as_micros() / 2);
@@ -579,6 +596,7 @@ pub fn emit_repro(sc: &FuzzScenario, failure: &FuzzFailure) -> String {
         "  \"deadline_us\": {},\n",
         sc.deadline.as_micros()
     ));
+    out.push_str(&format!("  \"shards\": {},\n", sc.shards));
     out.push_str("  \"faults\": [");
     for (i, f) in sc.faults.iter().enumerate() {
         out.push_str(if i == 0 { "\n" } else { ",\n" });
@@ -842,19 +860,19 @@ pub fn parse_repro(text: &str) -> Result<(FuzzScenario, Option<FailureKind>), St
                 .ok_or("fault missing kind")?;
             faults.push(match kind {
                 "crash_restart" => FaultSpec::CrashRestart {
-                    node: fget("node")? as u16,
+                    node: fget("node")? as u32,
                     at: SimTime::from_micros(fget("at_us")?),
                     down: SimDuration::from_micros(fget("down_us")?),
                 },
                 "link_flap" => FaultSpec::LinkFlap {
-                    from: fget("from")? as u16,
-                    to: fget("to")? as u16,
+                    from: fget("from")? as u32,
+                    to: fget("to")? as u32,
                     at: SimTime::from_micros(fget("at_us")?),
                     down: SimDuration::from_micros(fget("down_us")?),
                     ber_ppb: fget("ber_ppb")?,
                 },
                 "storage_faults" => FaultSpec::StorageFaults {
-                    node: fget("node")? as u16,
+                    node: fget("node")? as u32,
                     at: SimTime::from_micros(fget("at_us")?),
                     failures: fget("failures")? as u32,
                 },
@@ -875,6 +893,8 @@ pub fn parse_repro(text: &str) -> Result<(FuzzScenario, Option<FailureKind>), St
             seed: get("seed")?,
             tie_seed: root.field("tie_seed").and_then(Json::num),
             deadline: SimTime::from_micros(get("deadline_us")?),
+            // Absent in pre-sharding repros: those ran sequentially.
+            shards: root.field("shards").and_then(Json::num).unwrap_or(1) as usize,
             faults,
         },
         recorded,
@@ -968,6 +988,7 @@ mod tests {
             seed: 77,
             tie_seed: Some(9),
             deadline: SimTime::from_secs(1234),
+            shards: 3,
             faults: vec![
                 FaultSpec::CrashRestart {
                     node: 3,
@@ -1054,6 +1075,7 @@ mod tests {
             seed: 5,
             tie_seed: None,
             deadline: SimTime::from_secs(4 * 3_600),
+            shards: 1,
             faults: Vec::new(),
         };
         assert_eq!(run_scenario(&sc), Verdict::Pass);
@@ -1074,6 +1096,7 @@ mod tests {
             seed: 5,
             tie_seed: None,
             deadline: SimTime::from_secs(600),
+            shards: 1,
             faults: vec![FaultSpec::CrashRestart {
                 node: 99, // a 3x3 grid has nodes 0..9
                 at: SimTime::from_secs(100),
@@ -1110,6 +1133,10 @@ mod tests {
         assert!(matches!(shrunk.faults[0], FaultSpec::StorageFaults { .. }));
         assert_eq!((shrunk.rows, shrunk.cols), (2, 2));
         assert_eq!(shrunk.segments, 1);
+        assert_eq!(
+            shrunk.shards, 1,
+            "repros shrink back to the sequential kernel"
+        );
         assert!(shrunk.deadline <= SimTime::from_secs(700));
         assert!(shrunk.tie_seed.unwrap() < 4, "permutation re-seeded small");
         assert!(spent <= 256);

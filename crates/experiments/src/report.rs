@@ -361,15 +361,21 @@ fn diff_scale(old: &Json, new: &Json) -> String {
         "grid", "old ev/s", "new ev/s", "Δ ev/s", "Δ wall", "steady allocs"
     );
     for row in new_rows {
+        // Pre-v4 rows carry no "shards" key; they were sequential runs.
         let grid_of = |r: &Json| {
             (
                 r.get("rows").and_then(Json::as_u64).unwrap_or(0),
                 r.get("cols").and_then(Json::as_u64).unwrap_or(0),
+                r.get("shards").and_then(Json::as_u64).unwrap_or(1),
             )
         };
-        let (rows, cols) = grid_of(row);
-        let label = format!("{rows}x{cols}");
-        let Some(prev) = old_rows.iter().find(|r| grid_of(r) == (rows, cols)) else {
+        let (rows, cols, shards) = grid_of(row);
+        let label = if shards == 1 {
+            format!("{rows}x{cols}")
+        } else {
+            format!("{rows}x{cols}@{shards}")
+        };
+        let Some(prev) = old_rows.iter().find(|r| grid_of(r) == (rows, cols, shards)) else {
             let _ = writeln!(out, "{label:<10} (no old row)");
             continue;
         };
@@ -472,6 +478,9 @@ pub fn history_regressions(
             && row.get("cols").and_then(Json::as_u64) == Some(current.cols as u64)
             && row.get("seed").and_then(Json::as_u64) == Some(current.seed)
             && row.get("segments").and_then(Json::as_u64) == Some(u64::from(current.segments))
+            // Pre-v4 history rows have no "shards" key: they ran the
+            // sequential kernel, so they stay comparable to shards=1.
+            && row.get("shards").and_then(Json::as_u64).unwrap_or(1) == current.shards as u64
             && row.get("tie_break").and_then(Json::as_str) == Some(&current.tie_break)
     };
     let Some(prev) = history
@@ -543,6 +552,7 @@ mod tests {
             cols: 20,
             seed: 42,
             segments: 1,
+            shards: 1,
             completed: true,
             completion_s: 100.0,
             wall_s: 1.0,
@@ -603,6 +613,23 @@ mod tests {
         let history = crate::scale::render_history_row(&other);
         let current = measurement(100.0, 5);
         assert!(history_regressions(&history, &current, 10.0).is_empty());
+    }
+
+    #[test]
+    fn history_compare_matches_shard_count() {
+        // A sequential row is not a baseline for a sharded run (and vice
+        // versa): only rows of the same kernel configuration compare.
+        let history = history_line(4_000_000.0, 0);
+        let mut sharded = measurement(100.0, 0);
+        sharded.shards = 8;
+        assert!(history_regressions(&history, &sharded, 10.0).is_empty());
+        // Pre-v4 rows carry no "shards" key; they were sequential runs
+        // and must keep working as the shards=1 baseline.
+        let legacy = history.replace(",\"shards\":1", "");
+        assert_ne!(legacy, history, "the row should have carried shards");
+        let current = measurement(800_000.0, 0);
+        let msgs = history_regressions(&legacy, &current, 10.0);
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
     }
 
     #[test]

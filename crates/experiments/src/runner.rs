@@ -39,6 +39,7 @@ pub struct GridExperiment {
     check_invariants: bool,
     faults: Option<FaultPlan>,
     tie_break: TieBreak,
+    shards: usize,
 }
 
 impl GridExperiment {
@@ -59,7 +60,22 @@ impl GridExperiment {
             check_invariants: false,
             faults: None,
             tie_break: TieBreak::Fifo,
+            shards: 1,
         }
+    }
+
+    /// Runs the simulation kernel sharded over `shards` worker threads
+    /// (default 1). A sharded run replays the sequential schedule byte
+    /// for byte — same trace, meters, and completion instants — so this
+    /// only changes wall-clock time, never results.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// The shard count runs of this scenario will use.
+    pub fn shard_count(&self) -> usize {
+        self.shards
     }
 
     /// Enables the radio capture effect (sensitivity experiment X4).
@@ -300,7 +316,8 @@ impl GridExperiment {
         );
         let mut builder = NetworkBuilder::new(topo.links, self.seed)
             .capture(self.capture)
-            .tie_break(self.tie_break);
+            .tie_break(self.tie_break)
+            .shards(self.shards);
         if let Some(plan) = &self.faults {
             builder = builder.faults(plan.clone());
         }
@@ -372,7 +389,7 @@ impl RunOutcome {
             .map(|i| trace.node(NodeId::from_index(i)).received as f64)
             .collect();
         let collisions = (0..n)
-            .map(|i| net.medium().stats(NodeId::from_index(i)).collisions)
+            .map(|i| net.medium_stats(NodeId::from_index(i)).collisions)
             .sum();
         RunOutcome {
             grid,
@@ -569,6 +586,20 @@ mod tests {
             assert_eq!(out.completion, solo.completion);
             assert_eq!(out.sent, solo.sent);
         }
+    }
+
+    #[test]
+    fn sharded_mnp_run_matches_sequential() {
+        let scenario = GridExperiment::new(4, 4, 10.0).seed(9);
+        let solo = scenario.clone().run_mnp(|_| {});
+        let sharded = scenario.shards(3).run_mnp(|_| {});
+        assert_eq!(sharded.completed, solo.completed);
+        assert_eq!(sharded.completion, solo.completion);
+        assert_eq!(sharded.sent, solo.sent);
+        assert_eq!(sharded.received, solo.received);
+        assert_eq!(sharded.collisions, solo.collisions);
+        assert_eq!(sharded.events, solo.events);
+        assert_eq!(sharded.art_s, solo.art_s);
     }
 
     #[test]

@@ -1,9 +1,13 @@
 //! Large-grid scale benchmark (`mnp-run scale`).
 //!
 //! Drives seeded MNP runs on large grids — by default the paper's 20×20
-//! simulation grid and a 50×50 stress grid — and records wall-clock time,
-//! simulator throughput (events per second), and heap-allocation counts.
-//! The result renders as `BENCH_scale.json`.
+//! simulation grid plus 50×50 and 80×80 stress grids, each measured
+//! sequentially and on the sharded kernel ([`DEFAULT_SHARD_COUNTS`]) —
+//! and records wall-clock time, simulator throughput (events per
+//! second), and heap-allocation counts. The result renders as
+//! `BENCH_scale.json`. Shard count never changes a run's events, only
+//! its wall time, so rows differing only in `shards` report identical
+//! `events` and `completion_s`.
 //!
 //! Allocation counting itself lives in the `mnp-run` binary: a counting
 //! global allocator needs `unsafe`, which this library forbids. This
@@ -20,7 +24,7 @@
 use std::fmt;
 use std::time::Instant;
 
-use mnp_radio::{Frame, Medium, NodeId, TxOutcome, MAX_PAYLOAD_BYTES};
+use mnp_radio::{Frame, Medium, NodeId, TxOutcome, MAX_PAYLOAD_BYTES, PERCEPTION_LATENCY};
 use mnp_sim::{SimRng, SimTime, TieBreak};
 use mnp_topology::{GridSpec, TopologyBuilder};
 
@@ -36,8 +40,10 @@ pub type AllocCounter<'a> = &'a dyn Fn() -> (u64, u64);
 /// queue's same-instant policy) to every row so history lines stay
 /// self-describing as the benchmark evolves. v3 adds the top-level
 /// `scaling` object (base-vs-largest-grid throughput ratio; see
-/// [`scaling_summary`]).
-pub const SCALE_SCHEMA_VERSION: u64 = 3;
+/// [`scaling_summary`]). v4 adds `shards` (the kernel's shard count) to
+/// every row and to the `scaling` object, which now compares grids at
+/// the sweep's highest shard count.
+pub const SCALE_SCHEMA_VERSION: u64 = 4;
 
 /// The measured tree's `git describe --always --dirty`, or `"unknown"`
 /// when the benchmark runs outside a git checkout (or without git).
@@ -53,6 +59,23 @@ pub fn git_describe() -> String {
         .unwrap_or_else(|| "unknown".into())
 }
 
+/// Whether the working tree has uncommitted changes. `false` outside a
+/// git checkout (nothing to misattribute a measurement to).
+///
+/// `mnp-run scale` refuses to append `--history` rows from a dirty tree
+/// unless `--allow-dirty` is passed: a history line stamped
+/// `<hash>-dirty` can never be re-measured, which defeats the point of
+/// keeping history at all.
+pub fn git_is_dirty() -> bool {
+    std::process::Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .map(|out| !out.stdout.iter().all(|b| b.is_ascii_whitespace()))
+        .unwrap_or(false)
+}
+
 /// Stable label for a tie-break policy, as recorded in benchmark rows.
 pub fn tie_break_label(policy: TieBreak) -> String {
     match policy {
@@ -65,6 +88,13 @@ pub fn tie_break_label(policy: TieBreak) -> String {
 /// stress grid, and a 16× grid that keeps the event queue and the arena
 /// free-lists honest at sharded-kernel scale.
 pub const DEFAULT_GRIDS: [(usize, usize); 3] = [(20, 20), (50, 50), (80, 80)];
+
+/// The default kernel shard counts each grid is measured at: the
+/// sequential baseline and an 8-way sharded run. Measuring both makes
+/// the parallel speedup visible row-to-row, and the `scaling` summary
+/// gates on the highest shard count, where throughput must hold as the
+/// grid grows.
+pub const DEFAULT_SHARD_COUNTS: [usize; 2] = [1, 8];
 
 /// Minimum transmissions used to warm the medium pools before the
 /// measured window. [`measure`] raises this to one full round-robin cycle
@@ -94,6 +124,8 @@ pub struct ScaleMeasurement {
     pub seed: u64,
     /// Image segments disseminated.
     pub segments: u16,
+    /// Kernel shard count of the measured run (1 = sequential).
+    pub shards: usize,
     /// Whether every node finished before the deadline.
     pub completed: bool,
     /// Simulated completion time in seconds.
@@ -126,11 +158,13 @@ pub fn measure(
     cols: usize,
     segments: u16,
     seed: u64,
+    shards: usize,
     alloc_counter: AllocCounter,
 ) -> ScaleMeasurement {
     let scenario = GridExperiment::new(rows, cols, 10.0)
         .segments(segments)
-        .seed(seed);
+        .seed(seed)
+        .shards(shards);
     let (allocs_before, bytes_before) = alloc_counter();
     let start = Instant::now();
     let out = scenario.run_mnp(|_| {});
@@ -155,6 +189,7 @@ pub fn measure(
         cols,
         seed,
         segments,
+        shards: scenario.shard_count(),
         completed: out.completed,
         completion_s: out.completion_s(),
         wall_s,
@@ -175,11 +210,13 @@ impl fmt::Display for ScaleMeasurement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{}x{} seed {}: wall {:.2}s, {} events ({:.0}/s), sim {:.0}s, \
+            "{}x{} seed {} ({} shard{}): wall {:.2}s, {} events ({:.0}/s), sim {:.0}s, \
              {} allocs ({} B), steady-state {} allocs / {} tx",
             self.rows,
             self.cols,
             self.seed,
+            self.shards,
+            if self.shards == 1 { "" } else { "s" },
             self.wall_s,
             self.events,
             self.events_per_sec,
@@ -205,18 +242,29 @@ pub struct ScalingSummary {
     pub base: (usize, usize),
     /// `(rows, cols)` of the largest grid.
     pub top: (usize, usize),
+    /// Shard count the compared rows ran at (the sweep's highest).
+    pub shards: usize,
     /// `top.events_per_sec / base.events_per_sec`.
     pub events_per_sec_ratio: f64,
-    /// Whether throughput held or improved as the grid grew.
+    /// Whether throughput held within [`SCALING_FLOOR`] (or improved) as
+    /// the grid grew.
     pub flat_or_rising: bool,
 }
 
 /// Summarises how throughput scaled from the smallest to the largest grid
-/// in the sweep. `None` when the sweep has fewer than two distinct grid
-/// sizes or the base row recorded no throughput.
+/// in the sweep.
+///
+/// When the sweep mixes shard counts (the default measures every grid
+/// both sequentially and sharded), the comparison is made at the highest
+/// shard count — that is the kernel configuration the scaling gate is
+/// about — over the rows that ran at it. `None` when those rows have
+/// fewer than two distinct grid sizes or the base row recorded no
+/// throughput.
 pub fn scaling_summary(measurements: &[ScaleMeasurement]) -> Option<ScalingSummary> {
-    let base = measurements.iter().min_by_key(|m| m.rows * m.cols)?;
-    let top = measurements.iter().max_by_key(|m| m.rows * m.cols)?;
+    let shards = measurements.iter().map(|m| m.shards).max()?;
+    let at_top = || measurements.iter().filter(|m| m.shards == shards);
+    let base = at_top().min_by_key(|m| m.rows * m.cols)?;
+    let top = at_top().max_by_key(|m| m.rows * m.cols)?;
     if base.rows * base.cols == top.rows * top.cols || base.events_per_sec <= 0.0 {
         return None;
     }
@@ -224,8 +272,9 @@ pub fn scaling_summary(measurements: &[ScaleMeasurement]) -> Option<ScalingSumma
     Some(ScalingSummary {
         base: (base.rows, base.cols),
         top: (top.rows, top.cols),
+        shards,
         events_per_sec_ratio: ratio,
-        flat_or_rising: ratio >= 1.0,
+        flat_or_rising: ratio >= SCALING_FLOOR,
     })
 }
 
@@ -233,10 +282,10 @@ pub fn scaling_summary(measurements: &[ScaleMeasurement]) -> Option<ScalingSumma
 ///
 /// Schema (v[`SCALE_SCHEMA_VERSION`]): `{"bench": "scale",
 /// "schema_version", "grids": [{"schema_version", "git", "tie_break",
-/// "rows", "cols", "seed", "segments", "completed", "completion_s",
-/// "wall_s", "events", "events_per_sec", "run_allocs",
+/// "rows", "cols", "seed", "segments", "shards", "completed",
+/// "completion_s", "wall_s", "events", "events_per_sec", "run_allocs",
 /// "run_alloc_bytes", "steady_state_allocs", "steady_state_rounds"},
-/// ...], "scaling": {"base", "top", "events_per_sec_ratio",
+/// ...], "scaling": {"base", "top", "shards", "events_per_sec_ratio",
 /// "flat_or_rising"}}` — `scaling` is `null` for single-grid sweeps.
 pub fn render_json(measurements: &[ScaleMeasurement]) -> String {
     let mut s = String::from("{\n  \"bench\": \"scale\",\n");
@@ -258,6 +307,7 @@ pub fn render_json(measurements: &[ScaleMeasurement]) -> String {
         s.push_str(&format!("      \"cols\": {},\n", m.cols));
         s.push_str(&format!("      \"seed\": {},\n", m.seed));
         s.push_str(&format!("      \"segments\": {},\n", m.segments));
+        s.push_str(&format!("      \"shards\": {},\n", m.shards));
         s.push_str(&format!("      \"completed\": {},\n", m.completed));
         s.push_str(&format!("      \"completion_s\": {:.3},\n", m.completion_s));
         s.push_str(&format!("      \"wall_s\": {:.4},\n", m.wall_s));
@@ -291,6 +341,7 @@ pub fn render_json(measurements: &[ScaleMeasurement]) -> String {
             s.push_str("  \"scaling\": {\n");
             s.push_str(&format!("    \"base\": \"{}x{}\",\n", sc.base.0, sc.base.1));
             s.push_str(&format!("    \"top\": \"{}x{}\",\n", sc.top.0, sc.top.1));
+            s.push_str(&format!("    \"shards\": {},\n", sc.shards));
             s.push_str(&format!(
                 "    \"events_per_sec_ratio\": {:.3},\n",
                 sc.events_per_sec_ratio
@@ -327,7 +378,7 @@ fn json_escaped(s: &str) -> String {
 pub fn render_history_row(m: &ScaleMeasurement) -> String {
     format!(
         "{{\"schema_version\":{},\"git\":\"{}\",\"tie_break\":\"{}\",\
-         \"rows\":{},\"cols\":{},\"seed\":{},\"segments\":{},\
+         \"rows\":{},\"cols\":{},\"seed\":{},\"segments\":{},\"shards\":{},\
          \"completed\":{},\"completion_s\":{:.3},\"wall_s\":{:.4},\
          \"events\":{},\"events_per_sec\":{:.0},\"run_allocs\":{},\
          \"run_alloc_bytes\":{},\"steady_state_allocs\":{},\
@@ -339,6 +390,7 @@ pub fn render_history_row(m: &ScaleMeasurement) -> String {
         m.cols,
         m.seed,
         m.segments,
+        m.shards,
         m.completed,
         m.completion_s,
         m.wall_s,
@@ -401,8 +453,9 @@ impl MediumHotLoop {
     }
 
     /// One transmission: the next node in round-robin order broadcasts a
-    /// full-size frame, the medium resolves every receiver, and the
-    /// scratch outcome is cleared so the payload cell returns to the pool.
+    /// full-size frame through all four lifecycle phases, the medium
+    /// resolves every receiver, and the scratch outcome is cleared so the
+    /// payload cell returns to the pool.
     pub fn round(&mut self) {
         let src = NodeId::from_index(self.next);
         self.next = (self.next + 1) % self.nodes;
@@ -410,11 +463,14 @@ impl MediumHotLoop {
         // Every radio idles between rounds, so the send cannot fail.
         let start = self
             .medium
-            .start_transmission(src, frame, self.now)
+            .begin_transmission(src, frame, self.now)
             .expect("round-robin transmitter is idle");
-        self.now += start.airtime;
         self.medium
-            .finish_transmission_into(start.id, self.now, &mut self.scratch);
+            .rx_start(start.id, self.now + PERCEPTION_LATENCY);
+        self.medium.end_transmission(start.id);
+        self.now += start.airtime + PERCEPTION_LATENCY;
+        self.medium
+            .rx_end_into(start.id, self.now, &mut self.scratch);
         self.delivered += self.scratch.delivered.len() as u64;
         self.transmissions += 1;
         // Release the payload so its arena slot recycles, then clear the
@@ -472,27 +528,41 @@ mod tests {
 
     #[test]
     fn measure_small_grid_with_stub_counter() {
-        let m = measure(4, 4, 1, 42, &|| (0, 0));
+        let m = measure(4, 4, 1, 42, 1, &|| (0, 0));
         assert!(m.completed, "{m}");
         assert!(m.events > 0);
         assert!(m.wall_s > 0.0);
+        assert_eq!(m.shards, 1);
         assert_eq!(m.steady_state_rounds, STEADY_STATE_ROUNDS);
         assert_eq!(m.run_allocs, 0, "stub counter reads zero");
     }
 
     #[test]
+    fn sharded_measurement_replays_the_sequential_run() {
+        // The benchmark's own rows must honour the determinism contract:
+        // the sharded kernel changes wall time, never the simulation.
+        let seq = measure(4, 4, 1, 42, 1, &|| (0, 0));
+        let sharded = measure(4, 4, 1, 42, 4, &|| (0, 0));
+        assert_eq!(sharded.shards, 4);
+        assert_eq!(sharded.events, seq.events);
+        assert_eq!(sharded.completion_s, seq.completion_s);
+        assert_eq!(sharded.completed, seq.completed);
+    }
+
+    #[test]
     fn json_has_schema_fields() {
-        let m = measure(3, 3, 1, 42, &|| (0, 0));
+        let m = measure(3, 3, 1, 42, 1, &|| (0, 0));
         let json = render_json(&[m]);
         for key in [
             "\"bench\": \"scale\"",
-            "\"schema_version\": 3",
+            "\"schema_version\": 4",
             "\"git\"",
             "\"tie_break\": \"fifo\"",
             "\"rows\"",
             "\"cols\"",
             "\"seed\"",
             "\"segments\"",
+            "\"shards\"",
             "\"completed\"",
             "\"completion_s\"",
             "\"wall_s\"",
@@ -510,12 +580,14 @@ mod tests {
         assert!(json.contains("\"scaling\": null"), "{json}");
     }
 
-    /// A synthetic measurement with the given size and throughput; only
-    /// the fields [`scaling_summary`] reads are meaningful.
-    fn synthetic(rows: usize, cols: usize, events_per_sec: f64) -> ScaleMeasurement {
-        let mut m = measure(3, 3, 1, 42, &|| (0, 0));
+    /// A synthetic measurement with the given size, shard count, and
+    /// throughput; only the fields [`scaling_summary`] reads are
+    /// meaningful.
+    fn synthetic(rows: usize, cols: usize, shards: usize, events_per_sec: f64) -> ScaleMeasurement {
+        let mut m = measure(3, 3, 1, 42, 1, &|| (0, 0));
         m.rows = rows;
         m.cols = cols;
+        m.shards = shards;
         m.events_per_sec = events_per_sec;
         m
     }
@@ -523,27 +595,66 @@ mod tests {
     #[test]
     fn scaling_summary_compares_smallest_to_largest() {
         let ms = [
-            synthetic(20, 20, 2_000_000.0),
-            synthetic(50, 50, 1_800_000.0),
-            synthetic(80, 80, 1_700_000.0),
+            synthetic(20, 20, 1, 2_000_000.0),
+            synthetic(50, 50, 1, 1_800_000.0),
+            synthetic(80, 80, 1, 1_700_000.0),
         ];
         let sc = scaling_summary(&ms).expect("two distinct sizes");
         assert_eq!(sc.base, (20, 20));
         assert_eq!(sc.top, (80, 80));
+        assert_eq!(sc.shards, 1);
         assert!((sc.events_per_sec_ratio - 0.85).abs() < 1e-9);
-        assert!(!sc.flat_or_rising);
+        // A ratio sitting exactly on the floor passes the gate: the gate
+        // is `>= SCALING_FLOOR`, not the old strict `>= 1.0` which
+        // flagged any sub-unity ratio as falling.
+        assert!(sc.flat_or_rising);
         assert!(sc.events_per_sec_ratio >= SCALING_FLOOR);
 
         let json = render_json(&ms);
         assert!(json.contains("\"base\": \"20x20\""), "{json}");
         assert!(json.contains("\"top\": \"80x80\""), "{json}");
         assert!(json.contains("\"events_per_sec_ratio\": 0.850"), "{json}");
+        assert!(json.contains("\"flat_or_rising\": true"), "{json}");
+    }
+
+    #[test]
+    fn scaling_summary_flags_a_fall_below_the_floor() {
+        let ms = [
+            synthetic(20, 20, 1, 2_000_000.0),
+            synthetic(80, 80, 1, 1_600_000.0),
+        ];
+        let sc = scaling_summary(&ms).expect("two distinct sizes");
+        assert!((sc.events_per_sec_ratio - 0.80).abs() < 1e-9);
+        assert!(!sc.flat_or_rising, "0.80 is below the 0.85 floor");
+    }
+
+    #[test]
+    fn scaling_summary_compares_at_the_highest_shard_count() {
+        // A mixed sweep (each grid sequential and sharded) gates on the
+        // sharded rows: a slow sequential 80x80 must not fail a sweep
+        // whose sharded kernel holds throughput.
+        let ms = [
+            synthetic(20, 20, 1, 3_000_000.0),
+            synthetic(80, 80, 1, 1_700_000.0),
+            synthetic(20, 20, 8, 3_200_000.0),
+            synthetic(80, 80, 8, 6_000_000.0),
+        ];
+        let sc = scaling_summary(&ms).expect("two distinct sizes at 8 shards");
+        assert_eq!(sc.shards, 8);
+        assert_eq!(sc.base, (20, 20));
+        assert_eq!(sc.top, (80, 80));
+        assert!((sc.events_per_sec_ratio - 1.875).abs() < 1e-9);
+        assert!(sc.flat_or_rising);
     }
 
     #[test]
     fn scaling_summary_needs_two_distinct_sizes() {
         assert!(scaling_summary(&[]).is_none());
-        let ms = [synthetic(20, 20, 1e6), synthetic(20, 20, 2e6)];
+        let ms = [synthetic(20, 20, 1, 1e6), synthetic(20, 20, 1, 2e6)];
+        assert!(scaling_summary(&ms).is_none());
+        // Only one size at the highest shard count: no comparison either,
+        // even though two sizes exist overall.
+        let ms = [synthetic(20, 20, 1, 1e6), synthetic(80, 80, 8, 2e6)];
         assert!(scaling_summary(&ms).is_none());
     }
 

@@ -66,6 +66,7 @@ mod fault;
 mod network;
 mod nodes;
 mod protocol;
+mod shard;
 
 pub use context::Context;
 pub use fault::{FaultPlan, FaultPlanError, PlannedFault};

@@ -37,6 +37,11 @@ pub(crate) struct NodeHot {
     pub sleep_epoch: u64,
     /// The node's in-flight transmission, for mid-frame aborts.
     pub inflight: Option<TxId>,
+    /// The `(rx_start, rx_end)` owner sequence numbers of the in-flight
+    /// transmission (meaningful only while `inflight` is `Some`). A
+    /// mid-frame abort crossing a shard boundary names the frame by its
+    /// `(src, rx_start_seq)` identity, which the ghost shard indexed.
+    pub inflight_seqs: (u32, u32),
 }
 
 impl NodeHot {
@@ -47,6 +52,7 @@ impl NodeHot {
             mac_epoch: 0,
             sleep_epoch: 0,
             inflight: None,
+            inflight_seqs: (0, 0),
         }
     }
 }
@@ -63,6 +69,10 @@ pub(crate) struct NodeArena {
     mac_rngs: Vec<SimRng>,
     meters: Vec<EnergyMeter>,
     pending_sleep: Vec<Option<(SimTime, u64)>>,
+    /// Per-node event-scheduling sequence numbers: every event a node
+    /// schedules gets the next value, making `(node, seq)` a globally
+    /// unique, shard-independent event identity (the queue's owner key).
+    push_seqs: Vec<u32>,
 }
 
 impl NodeArena {
@@ -82,10 +92,12 @@ impl NodeArena {
             mac_rngs,
             meters: vec![EnergyMeter::new(); n],
             pending_sleep: vec![None; n],
+            push_seqs: vec![0; n],
         }
     }
 
     /// Number of nodes in this arena's range.
+    #[cfg(test)]
     pub fn len(&self) -> usize {
         self.hot.len()
     }
@@ -144,6 +156,61 @@ impl NodeArena {
     pub fn take_pending_sleep(&mut self, node: NodeId) -> Option<(SimTime, u64)> {
         let i = self.idx(node);
         self.pending_sleep[i].take()
+    }
+
+    /// Allocates `node`'s next event sequence number. The `(node, seq)`
+    /// pair identifies one scheduled event across the whole run — the
+    /// owner key that keeps event ranks independent of queue placement.
+    pub fn next_seq(&mut self, node: NodeId) -> u32 {
+        let i = self.idx(node);
+        let seq = self.push_seqs[i];
+        self.push_seqs[i] += 1;
+        seq
+    }
+
+    /// Splits a base-0 arena into one arena per contiguous range of
+    /// `bounds` (a partition `[b0=0, b1, …, bs=len]`), preserving every
+    /// per-node column — including the sequence counters already consumed
+    /// by build-time event scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena is not base-0 or `bounds` is not a partition
+    /// of its range.
+    pub fn split(self, bounds: &[usize]) -> Vec<NodeArena> {
+        assert_eq!(self.base, 0, "only a whole-network arena splits");
+        assert_eq!(*bounds.first().expect("non-empty bounds"), 0);
+        assert_eq!(*bounds.last().expect("non-empty bounds"), self.hot.len());
+        let NodeArena {
+            base: _,
+            hot,
+            node_rngs,
+            mac_rngs,
+            meters,
+            pending_sleep,
+            push_seqs,
+        } = self;
+        let mut hot = hot.into_iter();
+        let mut node_rngs = node_rngs.into_iter();
+        let mut mac_rngs = mac_rngs.into_iter();
+        let mut meters = meters.into_iter();
+        let mut pending_sleep = pending_sleep.into_iter();
+        let mut push_seqs = push_seqs.into_iter();
+        bounds
+            .windows(2)
+            .map(|w| {
+                let n = w[1] - w[0];
+                NodeArena {
+                    base: w[0],
+                    hot: hot.by_ref().take(n).collect(),
+                    node_rngs: node_rngs.by_ref().take(n).collect(),
+                    mac_rngs: mac_rngs.by_ref().take(n).collect(),
+                    meters: meters.by_ref().take(n).collect(),
+                    pending_sleep: pending_sleep.by_ref().take(n).collect(),
+                    push_seqs: push_seqs.by_ref().take(n).collect(),
+                }
+            })
+            .collect()
     }
 }
 

@@ -29,14 +29,14 @@ pub struct InvariantMonitor {
     checks: u64,
     violations: Vec<String>,
     /// (node, seg, pkt) triples already written.
-    written: HashSet<(u16, u16, u16)>,
+    written: HashSet<(u32, u16, u16)>,
     /// Next expected segment per node.
-    next_seg: HashMap<u16, u16>,
+    next_seg: HashMap<u32, u16>,
     /// Nodes whose radio is currently off.
-    asleep: HashSet<u16>,
+    asleep: HashSet<u32>,
     /// 256-bit set of ReqCtr values `listener` has heard `source`
     /// advertise, keyed by `(listener, source)`.
-    heard_req_ctr: HashMap<(u16, u16), [u64; 4]>,
+    heard_req_ctr: HashMap<(u32, u32), [u64; 4]>,
 }
 
 impl InvariantMonitor {
@@ -170,7 +170,7 @@ mod tests {
     use mnp_sim::SimTime;
     use mnp_trace::MsgClass;
 
-    fn ev(node: u16, kind: EventKind) -> ObsEvent {
+    fn ev(node: u32, kind: EventKind) -> ObsEvent {
         ObsEvent {
             t: SimTime::from_micros(77),
             node: NodeId(node),

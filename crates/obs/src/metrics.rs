@@ -381,7 +381,7 @@ mod tests {
     use crate::event::MsgDetail;
     use mnp_radio::NodeId;
 
-    fn ev(node: u16, t: u64, kind: EventKind) -> ObsEvent {
+    fn ev(node: u32, t: u64, kind: EventKind) -> ObsEvent {
         ObsEvent {
             t: SimTime::from_micros(t),
             node: NodeId(node),

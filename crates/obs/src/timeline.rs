@@ -21,9 +21,9 @@ pub struct TimelineExporter {
     /// Per-node currently-open state: (start micros, label).
     open: Vec<Option<(u64, &'static str)>>,
     /// Closed spans: (node, label, start micros, duration micros).
-    spans: Vec<(u16, &'static str, u64, u64)>,
+    spans: Vec<(u32, &'static str, u64, u64)>,
     /// Instant markers: (node, label, micros).
-    markers: Vec<(u16, &'static str, u64)>,
+    markers: Vec<(u32, &'static str, u64)>,
     finished: bool,
 }
 
@@ -34,7 +34,7 @@ impl TimelineExporter {
     }
 
     /// Closed state spans so far, as `(node, label, start_us, dur_us)`.
-    pub fn spans(&self) -> &[(u16, &'static str, u64, u64)] {
+    pub fn spans(&self) -> &[(u32, &'static str, u64, u64)] {
         &self.spans
     }
 
@@ -43,7 +43,7 @@ impl TimelineExporter {
         self.finished
     }
 
-    fn close_open(&mut self, index: usize, node: u16, end: u64) {
+    fn close_open(&mut self, index: usize, node: u32, end: u64) {
         if let Some(Some((start, label))) = self.open.get(index).copied() {
             self.spans
                 .push((node, label, start, end.saturating_sub(start)));
@@ -73,7 +73,7 @@ impl TimelineExporter {
     }
 
     fn append_trace_events(&self, out: &mut String, first: &mut bool) {
-        let mut tids: Vec<u16> = self
+        let mut tids: Vec<u32> = self
             .spans
             .iter()
             .map(|s| s.0)
@@ -177,7 +177,7 @@ impl Observer for TimelineExporter {
     fn on_run_end(&mut self, at: SimTime) {
         let end = at.as_micros();
         for index in 0..self.open.len() {
-            let node = index as u16;
+            let node = index as u32;
             self.close_open(index, node, end);
         }
         self.finished = true;
@@ -189,7 +189,7 @@ mod tests {
     use super::*;
     use mnp_radio::NodeId;
 
-    fn state(node: u16, t: u64, from: &'static str, to: &'static str) -> ObsEvent {
+    fn state(node: u32, t: u64, from: &'static str, to: &'static str) -> ObsEvent {
         ObsEvent {
             t: SimTime::from_micros(t),
             node: NodeId(node),

@@ -40,7 +40,7 @@ mod tests {
     fn events_drive_the_trace_like_the_old_hooks() {
         let mut trace = RunTrace::new(3);
         let t = SimTime::from_secs(3);
-        let mut emit = |node: u16, kind: EventKind| {
+        let mut emit = |node: u32, kind: EventKind| {
             Observer::on_event(
                 &mut trace,
                 &ObsEvent {

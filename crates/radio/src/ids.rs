@@ -18,22 +18,27 @@ use std::fmt;
 /// assert!(NodeId(3) > NodeId(1));
 /// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct NodeId(pub u16);
+pub struct NodeId(pub u32);
 
 impl NodeId {
     /// The ID as a dense vector index.
     pub fn index(self) -> usize {
-        usize::from(self.0)
+        self.0 as usize
     }
 
     /// Builds an ID from a dense index.
     ///
     /// # Panics
     ///
-    /// Panics if `index` exceeds `u16::MAX` (the simulator supports at most
-    /// 65 536 nodes, far beyond the paper's 400-node maximum).
+    /// Panics if `index` exceeds `i32::MAX` (the id also packs into event
+    /// owner keys, which reserve the top bit; two billion nodes is far
+    /// beyond any grid the simulator will see).
     pub fn from_index(index: usize) -> Self {
-        NodeId(u16::try_from(index).expect("node index exceeds u16 range"))
+        assert!(
+            u32::try_from(index).is_ok_and(|v| v <= i32::MAX as u32),
+            "node index exceeds i32 range"
+        );
+        NodeId(index as u32)
     }
 }
 
@@ -45,7 +50,7 @@ impl fmt::Display for NodeId {
 
 impl From<u16> for NodeId {
     fn from(v: u16) -> Self {
-        NodeId(v)
+        NodeId(u32::from(v))
     }
 }
 
@@ -70,8 +75,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "u16 range")]
+    fn from_index_accepts_large_grids() {
+        // 500×500 = 250_000 nodes must be addressable.
+        assert_eq!(NodeId::from_index(250_000).index(), 250_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "i32 range")]
     fn from_index_rejects_huge() {
-        let _ = NodeId::from_index(100_000);
+        let _ = NodeId::from_index(usize::MAX);
     }
 }

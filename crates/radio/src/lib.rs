@@ -25,7 +25,7 @@
 //! # Example
 //!
 //! ```
-//! use mnp_radio::{Frame, LinkTable, Medium, NodeId};
+//! use mnp_radio::{Frame, LinkTable, Medium, NodeId, TxOutcome, PERCEPTION_LATENCY};
 //! use mnp_sim::{SimRng, SimTime};
 //!
 //! // Two nodes, perfect symmetric link.
@@ -34,12 +34,17 @@
 //! links.connect(NodeId(1), NodeId(0), 0.0);
 //! let mut medium = Medium::new(links, SimRng::new(7));
 //!
-//! let t0 = mnp_sim::SimTime::ZERO;
+//! // A frame is perceivable at the receivers one PERCEPTION_LATENCY
+//! // (preamble + sync airtime) after each sender-side edge: the driver
+//! // calls the four phases in timestamp order.
+//! let t0 = SimTime::ZERO;
 //! let tx = medium
-//!     .start_transmission(NodeId(0), Frame::new(NodeId(0), 29, "hello"), t0)
+//!     .begin_transmission(NodeId(0), Frame::new(NodeId(0), 29, "hello"), t0)
 //!     .unwrap();
-//! let end = t0 + tx.airtime;
-//! let outcome = medium.finish_transmission(tx.id, end);
+//! medium.rx_start(tx.id, t0 + PERCEPTION_LATENCY);
+//! medium.end_transmission(tx.id);
+//! let mut outcome = TxOutcome::new();
+//! assert!(medium.rx_end_into(tx.id, t0 + tx.airtime + PERCEPTION_LATENCY, &mut outcome));
 //! assert_eq!(outcome.delivered, vec![NodeId(1)]);
 //! // The payload lives in the medium's arena until released.
 //! let handle = outcome.payload.unwrap();
@@ -64,5 +69,8 @@ pub use csma::{Csma, CsmaAction, CsmaBank, CsmaConfig};
 pub use ids::NodeId;
 pub use link::{FlatLinks, LinkTable};
 pub use medium::{Medium, MediumStats, RadioState, TxError, TxId, TxOutcome, TxStart};
-pub use packet::{airtime, Frame, FRAME_OVERHEAD_BYTES, MAX_PAYLOAD_BYTES, RADIO_BIT_RATE};
+pub use packet::{
+    airtime, Frame, FRAME_OVERHEAD_BYTES, MAX_PAYLOAD_BYTES, PERCEPTION_HEADER_BYTES,
+    PERCEPTION_LATENCY, RADIO_BIT_RATE,
+};
 pub use power::PowerLevel;

@@ -17,6 +17,22 @@ pub const FRAME_OVERHEAD_BYTES: usize = 18;
 /// Largest payload a single TinyOS active message can carry.
 pub const MAX_PAYLOAD_BYTES: usize = 29;
 
+/// Preamble (8) + sync (2) bytes a receiver must hear before it can react
+/// to a frame in any way.
+pub const PERCEPTION_HEADER_BYTES: usize = 10;
+
+/// How long after a transmission starts its effects become perceivable at
+/// the receivers: the airtime of the preamble + sync header
+/// ([`PERCEPTION_HEADER_BYTES`], ≈4.17 ms at 19.2 kbps).
+///
+/// Until a radio has heard the preamble and sync word it cannot lock on,
+/// detect a collision, or report the channel busy — carrier sense and
+/// reception both lag the transmitter by this much. The lag also gives
+/// every cross-node radio interaction a strictly positive latency, which
+/// is the lookahead the sharded kernel's lockstep windows are bounded by.
+pub const PERCEPTION_LATENCY: SimDuration =
+    SimDuration::from_micros((PERCEPTION_HEADER_BYTES as u64 * 8) * 1_000_000 / RADIO_BIT_RATE);
+
 /// Time a frame with `payload_bytes` of payload occupies the channel.
 ///
 /// # Example
@@ -109,6 +125,15 @@ mod tests {
     fn full_packet_is_about_20ms() {
         let t = airtime(MAX_PAYLOAD_BYTES);
         assert!(t.as_millis() >= 15 && t.as_millis() <= 25, "got {t}");
+    }
+
+    #[test]
+    fn perception_latency_is_shorter_than_any_frame() {
+        // Every frame carries the perception header, so the lag can never
+        // exceed a frame's own airtime — receivers always perceive a
+        // transmission before it ends.
+        assert_eq!(PERCEPTION_LATENCY.as_micros(), 4_166);
+        assert!(PERCEPTION_LATENCY < airtime(0));
     }
 
     #[test]

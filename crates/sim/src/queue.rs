@@ -13,27 +13,60 @@ use crate::time::{SimDuration, SimTime};
 /// queue's inputs, so any run replays byte-for-byte.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum TieBreak {
-    /// Same-instant events pop in push order. The default, and the order
-    /// every figure in EXPERIMENTS.md is regenerated under.
+    /// Same-instant events pop in push order (for owner-keyed pushes: in
+    /// `(owner, per-owner seq)` order, which is the push order of any
+    /// single-threaded run). The default, and the order every figure in
+    /// EXPERIMENTS.md is regenerated under.
     #[default]
     Fifo,
-    /// Same-instant events pop in a pseudorandom permutation of push order,
-    /// derived from the given seed. Used by the `mnp-check` fuzz harness to
-    /// explore schedules the FIFO order never exercises; the same seed
-    /// yields the same permutation, so failures replay deterministically.
+    /// Same-instant events pop in a pseudorandom permutation of owner
+    /// order, derived from the given seed. Used by the `mnp-check` fuzz
+    /// harness to explore schedules the FIFO order never exercises; the
+    /// same seed yields the same permutation, so failures replay
+    /// deterministically.
+    ///
+    /// The hash input is the *owner*, not the per-owner sequence number:
+    /// two events scheduled by the same owner for the same instant always
+    /// keep their scheduling order. That invariant is load-bearing — the
+    /// kernel relies on it to keep causal chains (e.g. a reception start
+    /// before the matching abort) in order under every policy.
     SeededPermutation(u64),
 }
 
 impl TieBreak {
-    /// The secondary sort key for an event pushed at `time` as the
-    /// `seq`-th push overall. FIFO keys are constant (push order decides);
-    /// the permutation policy hashes `(seed, time, seq)`.
-    fn key(self, time: SimTime, seq: u64) -> u64 {
+    /// The secondary sort key for an event pushed at `time` by `group`
+    /// (an owner id for keyed pushes, a unique per-push value for plain
+    /// ones). FIFO keys are constant (the owner key decides); the
+    /// permutation policy hashes `(seed, time, group)`.
+    fn key(self, time: SimTime, group: u64) -> u64 {
         match self {
             TieBreak::Fifo => 0,
-            TieBreak::SeededPermutation(seed) => mix(mix(seed, time.as_micros()), seq),
+            TieBreak::SeededPermutation(seed) => mix(mix(seed, time.as_micros()), group),
         }
     }
+}
+
+/// Pseudo-owner bit for plain [`EventQueue::push`] calls. Real owners are
+/// node ids (`< 2^31`) packed into the upper half of the owner key, so the
+/// top bit cleanly separates the two namespaces and every plain push gets
+/// a distinct permutation group.
+const ANON_OWNER_BIT: u64 = 1 << 63;
+
+/// A popped event together with its canonical rank components.
+///
+/// The rank `(time, key, owner_key)` is a total order over all events of a
+/// run (owner keys are unique), and it is *globally* canonical: a sharded
+/// kernel merging per-shard pop streams by this rank reproduces the exact
+/// pop order of the single-queue run.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Popped<E> {
+    pub time: SimTime,
+    /// Tie-break policy key (0 under FIFO).
+    pub key: u64,
+    /// `(owner as u64) << 32 | per-owner seq` for keyed pushes; an
+    /// anonymous unique value (top bit set) for plain pushes.
+    pub owner_key: u64,
+    pub event: E,
 }
 
 /// A priority queue of timestamped events with deterministic tie-breaking.
@@ -46,6 +79,13 @@ impl TieBreak {
 /// [`EventQueue::with_tie_break`] swaps the same-instant order for a seeded
 /// permutation ([`TieBreak::SeededPermutation`]), which the fuzz harness uses
 /// to explore alternative schedules while staying fully reproducible.
+///
+/// The kernel schedules through [`EventQueue::push_owned`], which ranks an
+/// event by `(time, policy key, owner, per-owner seq)` — a key that does not
+/// depend on which queue the push lands in, so a sharded run (one queue per
+/// shard) pops each shard's events in exactly the relative order the
+/// single-queue run would, and a rank-ordered merge of the shard streams is
+/// byte-identical to the sequential schedule.
 ///
 /// # Example
 ///
@@ -66,9 +106,9 @@ pub struct EventQueue<E> {
     /// horizon split keeps the heap small enough (a few hundred entries)
     /// to stay cache-resident even when a big grid has tens of thousands
     /// of events pending. The pop *order* is identical to any heap's:
-    /// `(time, key, seq)` is a total order (`seq` is unique), so "remove
-    /// the minimum" has exactly one answer and determinism is structural,
-    /// not incidental.
+    /// `(time, key, owner_key)` is a total order (owner keys are unique),
+    /// so "remove the minimum" has exactly one answer and determinism is
+    /// structural, not incidental.
     heap: Vec<Entry<E>>,
     /// Events at or beyond `horizon`, unsorted. Pushing here is O(1); the
     /// buffer is re-partitioned (one linear scan) each time the heap
@@ -76,8 +116,12 @@ pub struct EventQueue<E> {
     /// of pop order — far events always mature *into* the heap before
     /// they can pop, so the split never affects the delivered sequence.
     far: Vec<Entry<E>>,
-    /// Smallest timestamp in `far` (meaningless when `far` is empty).
-    far_min: SimTime,
+    /// Smallest timestamp in `far`; `None` exactly when `far` is empty.
+    /// (This used to be a bare `SimTime` with a zero sentinel that was
+    /// only safe behind `is_empty` guards; the differential proptest
+    /// below now pins the behaviour and the `Option` makes it
+    /// structural.)
+    far_min: Option<SimTime>,
     /// Events strictly below this time live in the heap.
     horizon: SimTime,
     next_seq: u64,
@@ -99,17 +143,17 @@ const WINDOW: SimDuration = SimDuration::from_millis(64);
 struct Entry<E> {
     time: SimTime,
     /// Policy-derived secondary key (0 under FIFO; a hash under the seeded
-    /// permutation). `seq` below keeps the order total either way.
+    /// permutation). `owner_key` below keeps the order total either way.
     key: u64,
-    seq: u64,
+    owner_key: u64,
     event: E,
 }
 
 impl<E> Entry<E> {
-    /// Min-heap ordering key: earliest `(time, key, seq)` wins.
+    /// Min-heap ordering key: earliest `(time, key, owner_key)` wins.
     #[inline]
     fn rank(&self) -> (SimTime, u64, u64) {
-        (self.time, self.key, self.seq)
+        (self.time, self.key, self.owner_key)
     }
 
     #[inline]
@@ -129,7 +173,7 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: Vec::new(),
             far: Vec::new(),
-            far_min: SimTime::ZERO,
+            far_min: None,
             horizon: SimTime::ZERO,
             next_seq: 0,
             tie_break,
@@ -145,26 +189,56 @@ impl<E> EventQueue<E> {
     ///
     /// Scheduling in the past is allowed (the event pops immediately at its
     /// recorded timestamp); the network layer asserts monotonicity instead.
+    ///
+    /// Plain pushes rank behind every owner-keyed push at the same instant
+    /// and among themselves in push order (FIFO) or a per-push permutation.
+    /// The kernel uses [`EventQueue::push_owned`] exclusively; this entry
+    /// point serves tests and standalone uses of the queue.
     pub fn push(&mut self, time: SimTime, event: E) {
-        let _span = profile::span(Phase::QueuePush);
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.push_with_group(time, ANON_OWNER_BIT | seq, event);
+    }
+
+    /// Schedules `event` at `time` under the canonical owner key
+    /// `(owner << 32) | seq`.
+    ///
+    /// `owner` is the node that scheduled the event and `seq` its
+    /// monotonically increasing per-owner scheduling counter. The pair is
+    /// unique per run and independent of queue placement, which is what
+    /// makes per-shard pop streams mergeable into the sequential order.
+    pub fn push_owned(&mut self, time: SimTime, owner: u32, seq: u32, event: E) {
+        debug_assert!(owner <= i32::MAX as u32, "owner collides with anon bit");
+        self.push_with_group(time, (u64::from(owner) << 32) | u64::from(seq), event);
+    }
+
+    fn push_with_group(&mut self, time: SimTime, owner_key: u64, event: E) {
+        let _span = profile::span(Phase::QueuePush);
         let key = {
             let _span = profile::span(Phase::TieBreak);
-            self.tie_break.key(time, seq)
+            // Permute by owner (upper half), never by per-owner seq: an
+            // owner's same-instant events must keep their scheduling order
+            // under every policy. Anonymous pushes carry a unique group in
+            // the full key, so they still permute individually.
+            let group = if owner_key & ANON_OWNER_BIT != 0 {
+                owner_key
+            } else {
+                owner_key >> 32
+            };
+            self.tie_break.key(time, group)
         };
         let entry = Entry {
             time,
             key,
-            seq,
+            owner_key,
             event,
         };
         if time < self.horizon {
             self.heap.push(entry);
             self.sift_up(self.heap.len() - 1);
         } else {
-            if self.far.is_empty() || time < self.far_min {
-                self.far_min = time;
+            if self.far_min.is_none_or(|m| time < m) {
+                self.far_min = Some(time);
             }
             self.far.push(entry);
         }
@@ -173,6 +247,13 @@ impl<E> EventQueue<E> {
     /// Removes and returns the earliest event, or `None` if the queue is
     /// empty. Ties pop in insertion order.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_ranked().map(|p| (p.time, p.event))
+    }
+
+    /// Like [`EventQueue::pop`], but also returns the event's canonical
+    /// rank components, which a sharded kernel records as the merge key
+    /// for its per-window event chunks.
+    pub fn pop_ranked(&mut self) -> Option<Popped<E>> {
         let _span = profile::span(Phase::QueuePop);
         if self.heap.is_empty() && !self.mature() {
             return None;
@@ -183,7 +264,12 @@ impl<E> EventQueue<E> {
         if !self.heap.is_empty() {
             self.sift_down(0);
         }
-        Some((e.time, e.event))
+        Some(Popped {
+            time: e.time,
+            key: e.key,
+            owner_key: e.owner_key,
+            event: e.event,
+        })
     }
 
     /// Advances the horizon past the earliest far event and moves every
@@ -193,10 +279,11 @@ impl<E> EventQueue<E> {
     #[cold]
     fn mature(&mut self) -> bool {
         debug_assert!(self.heap.is_empty());
-        if self.far.is_empty() {
+        let Some(far_min) = self.far_min else {
+            debug_assert!(self.far.is_empty());
             return false;
-        }
-        self.horizon = (self.far_min + WINDOW).max(self.horizon);
+        };
+        self.horizon = (far_min + WINDOW).max(self.horizon);
         let mut i = 0;
         while i < self.far.len() {
             if self.far[i].time < self.horizon {
@@ -208,12 +295,7 @@ impl<E> EventQueue<E> {
                 i += 1;
             }
         }
-        self.far_min = self
-            .far
-            .iter()
-            .map(|e| e.time)
-            .min()
-            .unwrap_or(SimTime::ZERO);
+        self.far_min = self.far.iter().map(|e| e.time).min();
         debug_assert!(!self.heap.is_empty(), "far_min matured by construction");
         true
     }
@@ -262,8 +344,7 @@ impl<E> EventQueue<E> {
     /// far entry, so the global minimum is known without maturing.
     pub fn peek_time(&self) -> Option<SimTime> {
         let near = self.heap.first().map(|e| e.time);
-        let far = (!self.far.is_empty()).then_some(self.far_min);
-        match (near, far) {
+        match (near, self.far_min) {
             (Some(n), Some(f)) => Some(n.min(f)),
             (n, f) => n.or(f),
         }
@@ -283,6 +364,7 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
         self.far.clear();
+        self.far_min = None;
     }
 }
 
@@ -338,6 +420,82 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
         let (t, _) = q.pop().unwrap();
         assert_eq!(t, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn owned_ties_pop_in_owner_then_seq_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(3);
+        q.push_owned(t, 2, 0, 20);
+        q.push_owned(t, 1, 1, 11);
+        q.push_owned(t, 1, 0, 10);
+        q.push_owned(t, 0, 7, 7);
+        let popped: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(popped, vec![7, 10, 11, 20]);
+    }
+
+    #[test]
+    fn owner_key_rank_is_queue_placement_independent() {
+        // The same owner-keyed events split across two queues pop, within
+        // each queue, in the same relative order as the single queue —
+        // merging by rank reproduces the sequential schedule.
+        let events: [(u64, u32, u32); 6] = [
+            (5, 0, 0),
+            (5, 3, 0),
+            (5, 1, 0),
+            (9, 0, 1),
+            (5, 1, 1),
+            (2, 2, 0),
+        ];
+        for tie in [TieBreak::Fifo, TieBreak::SeededPermutation(42)] {
+            let mut whole = EventQueue::with_tie_break(tie);
+            let mut left = EventQueue::with_tie_break(tie);
+            let mut right = EventQueue::with_tie_break(tie);
+            for &(t, owner, seq) in &events {
+                let t = SimTime::from_micros(t);
+                whole.push_owned(t, owner, seq, (owner, seq));
+                if owner < 2 {
+                    left.push_owned(t, owner, seq, (owner, seq));
+                } else {
+                    right.push_owned(t, owner, seq, (owner, seq));
+                }
+            }
+            let seq_order: Vec<_> =
+                std::iter::from_fn(|| whole.pop_ranked().map(|p| (p.rank_tuple(), p.event)))
+                    .collect();
+            let mut merged: Vec<_> =
+                std::iter::from_fn(|| left.pop_ranked().map(|p| (p.rank_tuple(), p.event)))
+                    .collect();
+            merged.extend(std::iter::from_fn(|| {
+                right.pop_ranked().map(|p| (p.rank_tuple(), p.event))
+            }));
+            // Each shard stream is already rank-sorted (pop order), so a
+            // stable sort by rank is exactly the k-way merge.
+            merged.sort_by(|a, b| a.0.cmp(&b.0));
+            assert_eq!(merged, seq_order, "tie policy {tie:?}");
+        }
+    }
+
+    impl<E> Popped<E> {
+        fn rank_tuple(&self) -> (SimTime, u64, u64) {
+            (self.time, self.key, self.owner_key)
+        }
+    }
+
+    #[test]
+    fn same_owner_same_instant_keeps_seq_order_under_permutation() {
+        // The permutation policy must never flip a single owner's
+        // same-instant events: rx-start/rx-abort causal chains depend on
+        // it.
+        for seed in 0..64u64 {
+            let mut q = EventQueue::with_tie_break(TieBreak::SeededPermutation(seed));
+            let t = SimTime::from_micros(4_166);
+            for seq in 0..8u32 {
+                q.push_owned(t, 17, seq, seq);
+            }
+            let popped: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(popped, (0..8).collect::<Vec<_>>(), "seed {seed}");
+        }
     }
 
     #[test]
@@ -432,6 +590,10 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+        // A cleared queue accepts far pushes again (far_min reset).
+        q.push(SimTime::from_secs(9), 3);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(9)));
     }
 }
 
@@ -439,6 +601,8 @@ mod tests {
 mod proptests {
     use super::*;
     use proptest::prelude::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
 
     proptest! {
         /// Popping yields a non-decreasing time sequence, and equal-time
@@ -561,6 +725,89 @@ mod proptests {
                         prop_assert_eq!(popped, want.map(|pos| model.remove(pos)));
                     }
                 }
+            }
+        }
+
+        /// Differential test of the horizon-split queue against a naive
+        /// `BinaryHeap` oracle over random push/pop interleavings mixing
+        /// plain, owner-keyed, and boxed cold-variant events, under both
+        /// tie policies. Exercises far-buffer maturation (`far_min`
+        /// maintenance) from arbitrary intermediate states, including the
+        /// advance-drains-the-single-smallest-far-event case the audit in
+        /// the sharding issue called out.
+        #[test]
+        fn prop_differential_vs_binary_heap_oracle(
+            ops in proptest::collection::vec((0u8..10, 0u64..40, 0u32..6), 1..400),
+            seed in any::<u64>(),
+            permute in any::<bool>(),
+        ) {
+            // A payload with a boxed variant, mirroring the kernel's cold
+            // `SetLink` events: maturation must move boxes without
+            // confusing ranks.
+            #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+            enum Ev {
+                Hot(usize),
+                Cold(Box<(usize, u64)>),
+            }
+            let tie = if permute {
+                TieBreak::SeededPermutation(seed)
+            } else {
+                TieBreak::Fifo
+            };
+            let mut q: EventQueue<Ev> = EventQueue::with_tie_break(tie);
+            // Oracle: a plain min-heap over the same (time, key, owner_key)
+            // ranks, computed with the same policy function.
+            let mut oracle: BinaryHeap<Reverse<((SimTime, u64, u64), Ev)>> = BinaryHeap::new();
+            let mut anon_seq = 0u64;
+            let mut owner_seqs = [0u32; 6];
+            for (i, (op, t_raw, owner)) in ops.into_iter().enumerate() {
+                match op {
+                    // 0–3: plain push (hot), times clustered near zero.
+                    0..=3 => {
+                        let t = SimTime::from_micros(t_raw * 11);
+                        let ev = Ev::Hot(i);
+                        q.push(t, ev.clone());
+                        let group = ANON_OWNER_BIT | anon_seq;
+                        oracle.push(Reverse(((t, tie.key(t, group), group), ev)));
+                        anon_seq += 1;
+                    }
+                    // 4–5: plain push far beyond the horizon window.
+                    4..=5 => {
+                        let t = SimTime::from_micros(t_raw * 97_003);
+                        let ev = Ev::Cold(Box::new((i, t_raw)));
+                        q.push(t, ev.clone());
+                        let group = ANON_OWNER_BIT | anon_seq;
+                        oracle.push(Reverse(((t, tie.key(t, group), group), ev)));
+                        anon_seq += 1;
+                    }
+                    // 6–7: owner-keyed push, mixed near/far times.
+                    6..=7 => {
+                        let t = SimTime::from_micros(t_raw * if op == 6 { 13 } else { 70_111 });
+                        let seq = owner_seqs[owner as usize];
+                        owner_seqs[owner as usize] += 1;
+                        let ev = Ev::Hot(i);
+                        q.push_owned(t, owner, seq, ev.clone());
+                        let group = u64::from(owner);
+                        let okey = (u64::from(owner) << 32) | u64::from(seq);
+                        oracle.push(Reverse(((t, tie.key(t, group), okey), ev)));
+                    }
+                    // 8–9: pop and compare against the oracle minimum.
+                    _ => {
+                        let got = q.pop_ranked().map(|p| ((p.time, p.key, p.owner_key), p.event));
+                        let want = oracle.pop().map(|Reverse(x)| x);
+                        prop_assert_eq!(got, want);
+                    }
+                }
+                prop_assert_eq!(q.len(), oracle.len());
+                prop_assert_eq!(q.peek_time(), oracle.peek().map(|Reverse(((t, _, _), _))| *t));
+            }
+            // Drain the rest: full agreement to the end.
+            loop {
+                let got = q.pop_ranked().map(|p| ((p.time, p.key, p.owner_key), p.event));
+                let want = oracle.pop().map(|Reverse(x)| x);
+                let done = got.is_none();
+                prop_assert_eq!(got, want);
+                if done { break; }
             }
         }
 

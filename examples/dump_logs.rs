@@ -9,6 +9,16 @@
 //! diff -r /tmp/logs_before /tmp/logs_after
 //! ```
 //!
+//! An optional `--shards N` runs every scenario on the N-way sharded
+//! kernel; the output must not change, which is exactly how CI proves the
+//! sharded merge byte-identical:
+//!
+//! ```text
+//! cargo run --release --example dump_logs -- /tmp/logs_s1
+//! cargo run --release --example dump_logs -- /tmp/logs_s4 --shards 4
+//! diff -r /tmp/logs_s1 /tmp/logs_s4
+//! ```
+//!
 //! The scenarios mirror `tests/determinism.rs`: MNP and Deluge on a 4×4
 //! grid, with and without a fault plan, plus the capture-effect variant.
 
@@ -34,7 +44,21 @@ fn fault_plan() -> FaultPlan {
 }
 
 fn main() {
-    let dir = std::env::args().nth(1).expect("usage: dump_logs OUT_DIR");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir = None;
+    let mut shards = 1usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--shards" {
+            shards = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--shards takes a positive integer");
+        } else {
+            dir = Some(arg.clone());
+        }
+    }
+    let dir = dir.expect("usage: dump_logs OUT_DIR [--shards N]");
     std::fs::create_dir_all(&dir).expect("create output directory");
 
     let scenarios: [(&str, u64, bool, bool); 6] = [
@@ -50,6 +74,7 @@ fn main() {
         let mut scenario = GridExperiment::new(4, 4, 10.0)
             .segments(1)
             .seed(seed)
+            .shards(shards)
             .capture(capture);
         if faulted {
             scenario = scenario.faults(fault_plan());

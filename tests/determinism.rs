@@ -5,7 +5,7 @@
 
 use mnp_repro::prelude::*;
 
-fn fingerprint(out: &RunOutcome) -> Vec<(Option<u64>, Option<u16>, u64, u64)> {
+fn fingerprint(out: &RunOutcome) -> Vec<(Option<u64>, Option<u32>, u64, u64)> {
     out.trace
         .iter()
         .map(|(_, s)| {
@@ -195,6 +195,58 @@ fn faulted_runs_replay_byte_identically() {
         a.contains("\"ev\":\"restarted\""),
         "the crash-restart must surface in the event log"
     );
+}
+
+#[test]
+fn sharded_runs_give_byte_identical_event_logs() {
+    // The sharded kernel is an execution strategy, not a model change:
+    // whatever the shard count, a seeded run must emit the exact JSONL
+    // event log of the sequential kernel — same events, same order, same
+    // bytes. Faults are included so kills, reboots and link flaps cross
+    // shard boundaries too.
+    let log_for = |shards: usize| {
+        let log = Shared::new(JsonlLogger::new());
+        let plan = FaultPlan::seeded(5)
+            .crash_restart(NodeId(5), SimTime::from_secs(12), SimDuration::from_secs(9))
+            .link_flap(
+                NodeId(0),
+                NodeId(1),
+                SimTime::from_secs(6),
+                SimDuration::from_secs(4),
+                1.0,
+            )
+            .storage_faults(NodeId(3), SimTime::from_secs(4), 2);
+        let out = GridExperiment::new(4, 4, 10.0)
+            .segments(1)
+            .seed(77)
+            .faults(plan)
+            .shards(shards)
+            .run_mnp_observed(|_| {}, vec![Box::new(log.clone())]);
+        assert!(out.completed, "{shards}-shard run did not complete");
+        let text = log.borrow().as_str().to_owned();
+        (text, out.events, out.completion)
+    };
+    let (seq_log, seq_events, seq_done) = log_for(1);
+    assert!(!seq_log.is_empty());
+    for shards in [2, 4] {
+        let (log, events, done) = log_for(shards);
+        if log != seq_log {
+            let byte = log
+                .bytes()
+                .zip(seq_log.bytes())
+                .position(|(a, b)| a != b)
+                .unwrap_or(log.len().min(seq_log.len()));
+            let line = seq_log[..byte].matches('\n').count();
+            panic!(
+                "{shards}-shard log diverged from sequential at byte {byte} (line {line}): \
+                 lengths {} vs {}",
+                log.len(),
+                seq_log.len()
+            );
+        }
+        assert_eq!(events, seq_events, "{shards}-shard events_processed");
+        assert_eq!(done, seq_done, "{shards}-shard completion instant");
+    }
 }
 
 #[test]

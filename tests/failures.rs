@@ -36,7 +36,7 @@ fn survivors_complete_after_a_relay_dies_mid_stream() {
     // Diamond: 0 -(1,2)- 3. Node 3 can be served by 1 or 2; kill node 1
     // early, while the first transfers are in flight.
     let mut links = LinkTable::new(4);
-    for (a, b) in [(0u16, 1u16), (0, 2), (1, 3), (2, 3)] {
+    for (a, b) in [(0u32, 1u32), (0, 2), (1, 3), (2, 3)] {
         links.connect(NodeId(a), NodeId(b), 0.0);
         links.connect(NodeId(b), NodeId(a), 0.0);
     }
