@@ -257,12 +257,27 @@ pub struct ScalingSummary {
 /// When the sweep mixes shard counts (the default measures every grid
 /// both sequentially and sharded), the comparison is made at the highest
 /// shard count — that is the kernel configuration the scaling gate is
-/// about — over the rows that ran at it. `None` when those rows have
-/// fewer than two distinct grid sizes or the base row recorded no
-/// throughput.
+/// about — over the rows that ran at it. Only grids measured at *every*
+/// shard count of the sweep enter the comparison: a grid pinned to a
+/// single count (`--grids 500x500@8`) is a showcase row recording that
+/// the run completed, not part of the controlled sweep the floor was
+/// calibrated for. `None` when the eligible rows have fewer than two
+/// distinct grid sizes or the base row recorded no throughput.
 pub fn scaling_summary(measurements: &[ScaleMeasurement]) -> Option<ScalingSummary> {
     let shards = measurements.iter().map(|m| m.shards).max()?;
-    let at_top = || measurements.iter().filter(|m| m.shards == shards);
+    let counts: std::collections::BTreeSet<usize> = measurements.iter().map(|m| m.shards).collect();
+    let fully_swept = |rows: usize, cols: usize| {
+        counts.iter().all(|&s| {
+            measurements
+                .iter()
+                .any(|m| m.rows == rows && m.cols == cols && m.shards == s)
+        })
+    };
+    let at_top = || {
+        measurements
+            .iter()
+            .filter(|m| m.shards == shards && fully_swept(m.rows, m.cols))
+    };
     let base = at_top().min_by_key(|m| m.rows * m.cols)?;
     let top = at_top().max_by_key(|m| m.rows * m.cols)?;
     if base.rows * base.cols == top.rows * top.cols || base.events_per_sec <= 0.0 {
@@ -644,6 +659,28 @@ mod tests {
         assert_eq!(sc.base, (20, 20));
         assert_eq!(sc.top, (80, 80));
         assert!((sc.events_per_sec_ratio - 1.875).abs() < 1e-9);
+        assert!(sc.flat_or_rising);
+    }
+
+    #[test]
+    fn scaling_summary_excludes_single_count_showcase_rows() {
+        // A grid pinned to one shard count (`--grids 500x500@8`) records
+        // that the run completed; it is not part of the controlled sweep,
+        // so it must not become the comparison's top grid. On a one-core
+        // host a DRAM-bound 500x500 would otherwise drag a sweep whose
+        // gated 20x20→80x80 span is comfortably green below the floor.
+        let ms = [
+            synthetic(20, 20, 1, 2_100_000.0),
+            synthetic(80, 80, 1, 1_500_000.0),
+            synthetic(20, 20, 8, 250_000.0),
+            synthetic(80, 80, 8, 450_000.0),
+            synthetic(500, 500, 8, 160_000.0),
+        ];
+        let sc = scaling_summary(&ms).expect("20x20 and 80x80 are fully swept");
+        assert_eq!(sc.shards, 8);
+        assert_eq!(sc.base, (20, 20));
+        assert_eq!(sc.top, (80, 80), "the pinned 500x500 row is excluded");
+        assert!((sc.events_per_sec_ratio - 1.8).abs() < 1e-9);
         assert!(sc.flat_or_rising);
     }
 
