@@ -1,0 +1,238 @@
+//! Incremental Gaussian-elimination decoder for one coded generation,
+//! plus the seed-compressed coefficient derivation and the encoder's
+//! linear combination.
+//!
+//! A generation is one image segment: `gen_size` source packets, each
+//! padded to the layout's full payload width. A coded packet is a GF(256)
+//! linear combination of the sources; the 29-byte radio frame cannot
+//! carry an explicit 128-byte coefficient vector, so the wire header
+//! carries a `(generation, u32 seed)` pair and both ends derive the same
+//! coefficients from a [`SimRng`] stream ([`derive_coeffs`]).
+//!
+//! The decoder keeps the received combinations in reduced row-echelon
+//! form: each absorbed row is forward-eliminated against the existing
+//! pivots, normalised, then back-eliminated from them. At full rank the
+//! coefficient matrix is the identity, so row `i`'s data *is* source
+//! packet `i` — no separate back-substitution pass. Memory bound: at most
+//! `gen_size` rows of `gen_size + payload_len` bytes (≤ 128 × 151 ≈ 19 KB
+//! for the paper layout), freed when the generation commits to flash.
+
+use mnp_sim::SimRng;
+
+use super::gf256;
+
+/// One RREF row: its coefficient vector and combined payload.
+#[derive(Clone, Debug)]
+struct Row {
+    coeffs: Vec<u8>,
+    data: Vec<u8>,
+}
+
+/// Incremental RREF decoder for a single generation.
+#[derive(Clone, Debug)]
+pub struct GenDecoder {
+    gen_size: usize,
+    payload_len: usize,
+    /// `rows[c]` holds the row whose pivot is column `c`.
+    rows: Vec<Option<Row>>,
+    rank: usize,
+}
+
+impl GenDecoder {
+    /// An empty decoder for a generation of `gen_size` packets of
+    /// `payload_len` padded bytes each.
+    pub fn new(gen_size: usize, payload_len: usize) -> Self {
+        assert!(gen_size > 0, "empty generation");
+        GenDecoder {
+            gen_size,
+            payload_len,
+            rows: vec![None; gen_size],
+            rank: 0,
+        }
+    }
+
+    /// Packets in the generation.
+    pub fn gen_size(&self) -> usize {
+        self.gen_size
+    }
+
+    /// Current rank: linearly independent combinations absorbed so far.
+    /// Never decreases.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Whether the generation is fully decodable (`rank == gen_size`).
+    pub fn is_full(&self) -> bool {
+        self.rank == self.gen_size
+    }
+
+    /// Absorbs one coded packet. Returns `true` when the combination was
+    /// innovative (the rank rose), `false` when it was linearly dependent
+    /// on what is already held.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `coeffs` or `payload` have the wrong length.
+    pub fn absorb(&mut self, coeffs: &[u8], payload: &[u8]) -> bool {
+        assert_eq!(coeffs.len(), self.gen_size, "coefficient width mismatch");
+        assert_eq!(payload.len(), self.payload_len, "payload width mismatch");
+        let mut coeffs = coeffs.to_vec();
+        let mut data = payload.to_vec();
+
+        // Forward-eliminate against existing pivots. Each pivot row has a
+        // leading 1 at its column, so the factor is the raw coefficient.
+        for c in 0..self.gen_size {
+            if coeffs[c] == 0 {
+                continue;
+            }
+            if let Some(row) = &self.rows[c] {
+                let factor = coeffs[c];
+                gf256::mul_add_assign(&mut coeffs, &row.coeffs, factor);
+                gf256::mul_add_assign(&mut data, &row.data, factor);
+            }
+        }
+
+        // The first surviving nonzero column is the new pivot.
+        let Some(pivot) = coeffs.iter().position(|&c| c != 0) else {
+            return false; // reduced to zero: linearly dependent
+        };
+
+        // Normalise to a leading 1.
+        let scale = gf256::inv(coeffs[pivot]);
+        gf256::scale_assign(&mut coeffs, scale);
+        gf256::scale_assign(&mut data, scale);
+
+        // Back-eliminate the new pivot from every existing row so the
+        // matrix stays in *reduced* echelon form.
+        for c in 0..self.gen_size {
+            if let Some(row) = &mut self.rows[c] {
+                let factor = row.coeffs[pivot];
+                if factor != 0 {
+                    gf256::mul_add_assign(&mut row.coeffs, &coeffs, factor);
+                    gf256::mul_add_assign(&mut row.data, &data, factor);
+                }
+            }
+        }
+
+        self.rows[pivot] = Some(Row { coeffs, data });
+        self.rank += 1;
+        true
+    }
+
+    /// Source packet `i`, available once the generation is fully decoded
+    /// (the RREF matrix is then the identity, so row `i`'s data is the
+    /// packet). `None` before full rank.
+    pub fn packet(&self, i: usize) -> Option<&[u8]> {
+        if !self.is_full() {
+            return None;
+        }
+        self.rows[i].as_ref().map(|r| r.data.as_slice())
+    }
+}
+
+/// Derives the `n` coded coefficients named by a `(generation, seed)`
+/// wire header. Both encoder and decoder call this, so the u32 seed
+/// stands in for the full coefficient vector.
+///
+/// An all-zero draw (likely only for tiny generations) is patched to the
+/// unit vector on packet 0 so every header names a usable combination.
+pub fn derive_coeffs(gen: u16, seed: u32, n: usize) -> Vec<u8> {
+    let mut rng = SimRng::new((u64::from(gen) << 32) | u64::from(seed));
+    let mut coeffs: Vec<u8> = (0..n).map(|_| (rng.next_u64() & 0xff) as u8).collect();
+    if coeffs.iter().all(|&c| c == 0) {
+        coeffs[0] = 1;
+    }
+    coeffs
+}
+
+/// The encoder side: the GF(256) linear combination
+/// `sum_i coeffs[i] · packets[i]` over same-width padded packets.
+///
+/// # Panics
+///
+/// Panics when `coeffs` and `packets` disagree in length or the packets
+/// are not all `payload_len` wide.
+pub fn encode(coeffs: &[u8], packets: &[Vec<u8>], payload_len: usize) -> Vec<u8> {
+    assert_eq!(coeffs.len(), packets.len(), "coefficient/packet mismatch");
+    let mut out = vec![0u8; payload_len];
+    for (c, p) in coeffs.iter().zip(packets) {
+        gf256::mul_add_assign(&mut out, p, *c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sources(n: usize, w: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| (0..w).map(|j| (i * 31 + j * 7 + 1) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn unit_vectors_decode_directly() {
+        let src = sources(4, 8);
+        let mut dec = GenDecoder::new(4, 8);
+        for i in 0..4 {
+            let mut coeffs = vec![0u8; 4];
+            coeffs[i] = 1;
+            assert!(dec.absorb(&coeffs, &src[i]));
+            assert_eq!(dec.rank(), i + 1);
+        }
+        assert!(dec.is_full());
+        for i in 0..4 {
+            assert_eq!(dec.packet(i).unwrap(), src[i].as_slice());
+        }
+    }
+
+    #[test]
+    fn random_combinations_decode_at_full_rank() {
+        let g = 9;
+        let src = sources(g, 23);
+        let mut dec = GenDecoder::new(g, 23);
+        let mut seed = 0u32;
+        while !dec.is_full() {
+            seed += 1;
+            let coeffs = derive_coeffs(3, seed, g);
+            let coded = encode(&coeffs, &src, 23);
+            dec.absorb(&coeffs, &coded);
+            assert!(seed < 100, "rank stalled: dependent draws only");
+        }
+        for (i, s) in src.iter().enumerate() {
+            assert_eq!(dec.packet(i).unwrap(), s.as_slice());
+        }
+    }
+
+    #[test]
+    fn dependent_rows_are_rejected_and_rank_holds() {
+        let src = sources(3, 5);
+        let mut dec = GenDecoder::new(3, 5);
+        let coeffs = derive_coeffs(0, 42, 3);
+        let coded = encode(&coeffs, &src, 5);
+        assert!(dec.absorb(&coeffs, &coded));
+        // The same combination again is dependent; so is any scalar
+        // multiple of it.
+        assert!(!dec.absorb(&coeffs, &coded));
+        let mut scaled_c = coeffs.clone();
+        let mut scaled_d = coded.clone();
+        gf256::scale_assign(&mut scaled_c, 7);
+        gf256::scale_assign(&mut scaled_d, 7);
+        assert!(!dec.absorb(&scaled_c, &scaled_d));
+        assert_eq!(dec.rank(), 1);
+        assert!(dec.packet(0).is_none(), "no read-out before full rank");
+    }
+
+    #[test]
+    fn coefficient_derivation_is_deterministic_and_never_zero() {
+        assert_eq!(derive_coeffs(2, 99, 16), derive_coeffs(2, 99, 16));
+        assert_ne!(derive_coeffs(2, 99, 16), derive_coeffs(2, 100, 16));
+        assert_ne!(derive_coeffs(1, 99, 16), derive_coeffs(2, 99, 16));
+        for seed in 0..2000 {
+            let c = derive_coeffs(0, seed, 1);
+            assert!(c.iter().any(|&b| b != 0), "all-zero draw at {seed}");
+        }
+    }
+}

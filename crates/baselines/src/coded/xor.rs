@@ -1,20 +1,18 @@
-//! A Deluge-like dissemination protocol (Hui & Culler, SenSys'04).
+//! XOR single-hop recoding: the cheap end of the coding spectrum.
 //!
-//! Deluge is the paper's primary comparison point. Shared machinery with
-//! MNP (noted in §5): advertise–request–data handshaking, an image divided
-//! into fixed-size pages, page pipelining, and a bit vector tracking loss
-//! within a page. The differences this implementation preserves:
+//! Follows the INRIA "Heuristics for Network Coding in Wireless
+//! Networks" playbook (PAPERS.md): a forwarder that has overheard the
+//! *reception state* of its neighbours (their request bitmaps) XORs up
+//! to [`XorConfig::max_degree`] plain packets into one broadcast, chosen
+//! so every targeted neighbour is missing exactly one of the mixed
+//! packets and can decode it against its own flash. One transmission
+//! then repairs several different losses at once — the win over Deluge's
+//! one-packet-one-loss ForwardVector drain — while decoding costs only
+//! XOR, no Gaussian elimination.
 //!
-//! * **Trickle maintenance** — advertisements (summaries) are paced and
-//!   suppressed by a [`Trickle`] timer instead of MNP's sender-selection
-//!   competition.
-//! * **No sleeping** — "Deluge ... requires that radio is always on during
-//!   reprogramming. Therefore a node's idle listening time is the same as
-//!   the completion time." This is the crux of the paper's energy
-//!   comparison (C1 in DESIGN.md).
-//! * **No greedy sender choice** — a requester simply asks the summary
-//!   sender it heard; concurrent senders in one neighbourhood are possible
-//!   and produce the hidden-terminal collisions §5 discusses.
+//! Everything else (Trickle summaries, bitmap page requests, rx timeout)
+//! is deliberately identical to the Deluge implementation so the
+//! loss-sweep campaign compares recoding, not parameters.
 
 use mnp_net::{Context, EepromOps, Protocol, StateLabel, WireMsg};
 use mnp_radio::NodeId;
@@ -22,14 +20,16 @@ use mnp_sim::{SimDuration, SimTime};
 use mnp_storage::{ImageLayout, PacketStore, ProgramId, ProgramImage};
 use mnp_trace::MsgClass;
 
-use mnp::engine::{self, ForwardVector, TimerMux};
+use mnp::engine::{self, TimerMux};
 use mnp::PacketBitmap;
 
 use crate::trickle::{Trickle, TrickleConfig};
 
-/// Deluge parameters.
+use super::{packet_len, padded_packet};
+
+/// XOR-recoding parameters.
 #[derive(Clone, Debug)]
-pub struct DelugeConfig {
+pub struct XorConfig {
     /// The program being disseminated.
     pub program: ProgramId,
     /// Image layout (pages = segments).
@@ -38,7 +38,7 @@ pub struct DelugeConfig {
     pub expected_checksum: u64,
     /// Maintenance-plane Trickle parameters.
     pub trickle: TrickleConfig,
-    /// Pacing between data packets.
+    /// Pacing between coded packets.
     pub data_packet_period: SimDuration,
     /// Jitter on the pacing.
     pub data_packet_jitter: SimDuration,
@@ -47,15 +47,16 @@ pub struct DelugeConfig {
     pub request_delay_max: SimDuration,
     /// How long a receiver waits for data before re-requesting.
     pub rx_timeout: SimDuration,
-    /// Requests for one page before giving up back to maintenance.
-    pub max_requests: u32,
+    /// Most packets mixed into one XOR broadcast. The wire format caps
+    /// this at 3 (one id byte each inside the 29-byte frame).
+    pub max_degree: usize,
 }
 
-impl DelugeConfig {
-    /// Defaults matched to the MNP configuration so C1 compares protocols,
-    /// not parameters.
+impl XorConfig {
+    /// Defaults matched to the Deluge configuration so the comparison
+    /// campaign measures recoding, not parameters.
     pub fn for_image(image: &ProgramImage) -> Self {
-        DelugeConfig {
+        XorConfig {
             program: image.id(),
             layout: image.layout(),
             expected_checksum: image.checksum(),
@@ -64,14 +65,14 @@ impl DelugeConfig {
             data_packet_jitter: SimDuration::from_millis(20),
             request_delay_max: SimDuration::from_millis(500),
             rx_timeout: SimDuration::from_secs(4),
-            max_requests: 3,
+            max_degree: 3,
         }
     }
 }
 
-/// Deluge's message set.
+/// The XOR protocol's message set.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub enum DelugeMsg {
+pub enum XorMsg {
     /// Maintenance summary: how many pages the sender holds.
     Summary {
         /// The advertising node.
@@ -79,7 +80,8 @@ pub enum DelugeMsg {
         /// Complete pages held (prefix count).
         pages: u16,
     },
-    /// NACK-style request for the missing packets of a page.
+    /// NACK-style request for the missing packets of a page — the
+    /// reception report the recoder plans its mixes from.
     PageReq {
         /// The summary sender being asked.
         dest: NodeId,
@@ -90,31 +92,33 @@ pub enum DelugeMsg {
         /// Missing packets within the page.
         missing: PacketBitmap,
     },
-    /// One code packet.
-    Data {
-        /// Page the packet belongs to.
+    /// One XOR combination of `ids.len()` plain packets of a page
+    /// (degree 1 degenerates to a plain data packet).
+    Xored {
+        /// Page the mixed packets belong to.
         page: u16,
-        /// Packet index within the page.
-        pkt: u16,
-        /// Code bytes.
+        /// Packet indices mixed in (1 ..= max_degree, one id byte each
+        /// on the wire).
+        ids: Vec<u16>,
+        /// XOR of the padded payloads.
         payload: Vec<u8>,
     },
 }
 
-impl WireMsg for DelugeMsg {
+impl WireMsg for XorMsg {
     fn wire_bytes(&self) -> usize {
         match self {
-            DelugeMsg::Summary { .. } => 4,
-            DelugeMsg::PageReq { .. } => 22,
-            DelugeMsg::Data { payload, .. } => 3 + payload.len(),
+            XorMsg::Summary { .. } => 4,
+            XorMsg::PageReq { .. } => 22,
+            XorMsg::Xored { ids, payload, .. } => 3 + ids.len() + payload.len(),
         }
     }
 
     fn class(&self) -> MsgClass {
         match self {
-            DelugeMsg::Summary { .. } => MsgClass::Advertisement,
-            DelugeMsg::PageReq { .. } => MsgClass::Request,
-            DelugeMsg::Data { .. } => MsgClass::Data,
+            XorMsg::Summary { .. } => MsgClass::Advertisement,
+            XorMsg::PageReq { .. } => MsgClass::Request,
+            XorMsg::Xored { .. } => MsgClass::Data,
         }
     }
 }
@@ -142,9 +146,9 @@ const T_REQ_SEND: u64 = 3;
 const T_RX_TIMEOUT: u64 = 4;
 const T_TX_TICK: u64 = 5;
 
-/// Per-node Deluge counters for the harness.
+/// Per-node XOR-recoding counters for the harness.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct DelugeStats {
+pub struct XorStats {
     /// Summaries transmitted.
     pub summaries_sent: u64,
     /// Summaries suppressed by Trickle.
@@ -155,73 +159,81 @@ pub struct DelugeStats {
     pub requests_suppressed: u64,
     /// Pages served (Tx rounds).
     pub tx_rounds: u64,
+    /// Coded broadcasts transmitted.
+    pub xored_sent: u64,
+    /// Broadcasts that mixed two or more packets (actual recoding).
+    pub mixed_sent: u64,
+    /// Packets recovered by XOR-decoding against flash.
+    pub recovered: u64,
+    /// Received combinations already held in full.
+    pub redundant: u64,
+    /// Received combinations missing two or more constituents
+    /// (undecodable at this node).
+    pub unusable: u64,
+    /// Flash write faults absorbed.
+    pub write_faults: u64,
 }
 
-/// One node running the Deluge-like protocol.
+/// One node running XOR single-hop recoding.
 ///
 /// # Example
 ///
 /// ```
-/// use mnp_baselines::{Deluge, DelugeConfig};
+/// use mnp_baselines::{Xor, XorConfig};
 /// use mnp_net::{Network, NetworkBuilder};
 /// use mnp_radio::{LinkTable, NodeId};
 /// use mnp_sim::SimTime;
 /// use mnp_storage::{ImageLayout, ProgramId, ProgramImage};
 ///
 /// let image = ProgramImage::synthetic(ProgramId(1), ImageLayout::paper_default(1));
-/// let cfg = DelugeConfig::for_image(&image);
+/// let cfg = XorConfig::for_image(&image);
 /// let mut links = LinkTable::new(2);
 /// links.connect(NodeId(0), NodeId(1), 0.0);
 /// links.connect(NodeId(1), NodeId(0), 0.0);
-/// let mut net: Network<Deluge> = NetworkBuilder::new(links, 3).build(|id, _| {
+/// let mut net: Network<Xor> = NetworkBuilder::new(links, 3).build(|id, _| {
 ///     if id == NodeId(0) {
-///         Deluge::base_station(cfg.clone(), &image)
+///         Xor::base_station(cfg.clone(), &image)
 ///     } else {
-///         Deluge::node(cfg.clone())
+///         Xor::node(cfg.clone())
 ///     }
 /// });
 /// assert!(net.run_until_all_complete(SimTime::from_secs(600)));
 /// ```
 #[derive(Debug)]
-pub struct Deluge {
-    cfg: DelugeConfig,
+pub struct Xor {
+    cfg: XorConfig,
     store: PacketStore,
     is_base: bool,
     completed: bool,
     heard_any: bool,
     state: State,
-    /// Timer sequence for the Rx/Tx transfer plane, invalidated on every
-    /// transfer-state teardown.
     transfer_timers: TimerMux,
-    /// Separate sequence for maintenance-interval timers so Trickle resets
-    /// (which happen on every overheard transfer message) never invalidate
-    /// in-flight Rx/Tx timers.
     maintain_timers: TimerMux,
     trickle: Trickle,
 
     // Rx
     rx_page: u16,
     rx_missing: PacketBitmap,
-    rx_requests: u32,
     rx_deadline: SimTime,
     pending_req: Option<(NodeId, u16)>,
     pending_suppressed: bool,
 
-    // Tx
+    // Tx: per-requester reception reports for the page being served —
+    // the mix planner's input.
     tx_page: u16,
-    fwd: ForwardVector,
+    reqs: Vec<(NodeId, PacketBitmap)>,
 
     /// Counters for the harness.
-    pub stats: DelugeStats,
+    pub stats: XorStats,
 }
 
-impl Deluge {
+impl Xor {
     /// Creates the base station holding the full image.
     ///
     /// # Panics
     ///
     /// Panics if `image` does not match the config.
-    pub fn base_station(cfg: DelugeConfig, image: &ProgramImage) -> Self {
+    pub fn base_station(cfg: XorConfig, image: &ProgramImage) -> Self {
         assert_eq!(image.id(), cfg.program, "image/program mismatch");
         assert_eq!(image.layout(), cfg.layout, "image/layout mismatch");
         let mut store = PacketStore::new(cfg.program, cfg.layout);
@@ -233,21 +245,21 @@ impl Deluge {
             }
         }
         store.line_writes = 0;
-        let mut d = Deluge::with_store(cfg, store);
-        d.is_base = true;
-        d.completed = true;
-        d
+        let mut x = Xor::with_store(cfg, store);
+        x.is_base = true;
+        x.completed = true;
+        x
     }
 
     /// Creates an ordinary node with empty flash.
-    pub fn node(cfg: DelugeConfig) -> Self {
+    pub fn node(cfg: XorConfig) -> Self {
         let store = PacketStore::new(cfg.program, cfg.layout);
-        Deluge::with_store(cfg, store)
+        Xor::with_store(cfg, store)
     }
 
-    fn with_store(cfg: DelugeConfig, store: PacketStore) -> Self {
+    fn with_store(cfg: XorConfig, store: PacketStore) -> Self {
         let trickle = Trickle::new(cfg.trickle);
-        Deluge {
+        Xor {
             cfg,
             store,
             is_base: false,
@@ -259,13 +271,12 @@ impl Deluge {
             trickle,
             rx_page: 0,
             rx_missing: PacketBitmap::empty(),
-            rx_requests: 0,
             rx_deadline: SimTime::ZERO,
             pending_req: None,
             pending_suppressed: false,
             tx_page: 0,
-            fwd: ForwardVector::new(),
-            stats: DelugeStats::default(),
+            reqs: Vec::new(),
+            stats: XorStats::default(),
         }
     }
 
@@ -279,7 +290,6 @@ impl Deluge {
         &self.store
     }
 
-    /// Routes a timer kind to the mux owning its sequence.
     fn mux_for(&self, kind: u64) -> &TimerMux {
         if kind == T_FIRE || kind == T_INTERVAL_END {
             &self.maintain_timers
@@ -296,58 +306,145 @@ impl Deluge {
         self.store.segments_received_prefix()
     }
 
-    fn missing_for(&self, page: u16) -> PacketBitmap {
-        engine::missing_vector(&self.store, page)
-    }
-
-    fn begin_interval(&mut self, ctx: &mut Context<'_, DelugeMsg>) {
+    fn begin_interval(&mut self, ctx: &mut Context<'_, XorMsg>) {
         self.maintain_timers.invalidate();
         let sched = self.trickle.begin_interval(ctx.rng);
         ctx.set_timer(sched.fire_in, self.token(T_FIRE));
         ctx.set_timer(sched.end_in, self.token(T_INTERVAL_END));
     }
 
-    fn trickle_inconsistent(&mut self, ctx: &mut Context<'_, DelugeMsg>) {
+    fn trickle_inconsistent(&mut self, ctx: &mut Context<'_, XorMsg>) {
         if self.trickle.note_inconsistent() {
             self.begin_interval(ctx);
         }
     }
 
-    fn enter_maintain(&mut self, ctx: &mut Context<'_, DelugeMsg>) {
+    fn enter_maintain(&mut self, ctx: &mut Context<'_, XorMsg>) {
         self.transfer_timers.invalidate();
         self.state = State::Maintain;
         self.pending_req = None;
         self.pending_suppressed = false;
+        self.reqs.clear();
         self.begin_interval(ctx);
     }
 
-    fn store_data(
+    /// Plans one broadcast: a set of packet ids such that every covered
+    /// requester is missing exactly one of them (its own target) and
+    /// holds the rest, so each decodes a different packet from the same
+    /// transmission. Greedy over requesters in arrival order, capped at
+    /// `max_degree`.
+    fn plan_mix(&self) -> Vec<u16> {
+        let limit = self.cfg.layout.packets_in_segment(self.tx_page);
+        let mut ids: Vec<u16> = Vec::new();
+        let mut covered: Vec<usize> = Vec::new();
+        for (i, (_, bm)) in self.reqs.iter().enumerate() {
+            if ids.len() >= self.cfg.max_degree {
+                break;
+            }
+            // This requester must hold every packet already in the mix.
+            if ids.iter().any(|&p| bm.get(p)) {
+                continue;
+            }
+            // Its target: the first packet it is missing (necessarily not
+            // in `ids`, which it holds none of).
+            let mut cand = bm.first_set_at_or_after(0).filter(|&p| p < limit);
+            // Every already-covered requester must hold the candidate, or
+            // it would now be missing two of the mix.
+            while let Some(c) = cand {
+                if covered.iter().all(|&j| !self.reqs[j].1.get(c)) {
+                    break;
+                }
+                cand = bm.first_set_at_or_after(c + 1).filter(|&p| p < limit);
+            }
+            let Some(c) = cand else { continue };
+            ids.push(c);
+            covered.push(i);
+        }
+        ids
+    }
+
+    /// After broadcasting `ids`, optimistically clears each covered
+    /// requester's decoded target; losses are recovered by the normal
+    /// rx-timeout re-request round.
+    fn clear_served(&mut self, ids: &[u16]) {
+        for (_, bm) in &mut self.reqs {
+            let missing: Vec<u16> = ids.iter().copied().filter(|&p| bm.get(p)).collect();
+            if missing.len() == 1 {
+                bm.clear(missing[0]);
+            }
+        }
+        self.reqs.retain(|(_, bm)| !bm.is_empty());
+    }
+
+    /// Decodes an overheard XOR broadcast against our own flash: usable
+    /// exactly when we are missing one constituent.
+    fn absorb_xored(
         &mut self,
-        ctx: &mut Context<'_, DelugeMsg>,
+        ctx: &mut Context<'_, XorMsg>,
         from: NodeId,
         page: u16,
-        pkt: u16,
+        ids: &[u16],
         payload: &[u8],
     ) {
-        if page != self.pages()
-            || self.completed
-            || !engine::store_packet_once(&mut self.store, page, pkt, payload)
+        if self.completed
+            || page != self.pages()
+            || ids.is_empty()
+            || payload.len() != self.cfg.layout.payload_bytes()
         {
             return;
         }
-        ctx.note_eeprom_write(page, pkt);
+        let missing: Vec<u16> = ids
+            .iter()
+            .copied()
+            .filter(|&p| !self.store.has_packet(page, p))
+            .collect();
+        let target = match missing.len() {
+            0 => {
+                self.stats.redundant += 1;
+                return;
+            }
+            1 => missing[0],
+            _ => {
+                self.stats.unusable += 1;
+                return;
+            }
+        };
+        let width = self.cfg.layout.payload_bytes();
+        let mut data = payload.to_vec();
+        for &p in ids.iter().filter(|&&p| p != target) {
+            let held = self
+                .store
+                .read_packet(page, p)
+                .expect("constituent held: only `target` is missing");
+            let held = padded_packet(held, width);
+            for (d, s) in data.iter_mut().zip(&held) {
+                *d ^= s;
+            }
+        }
+        let len = packet_len(&self.cfg.layout, page, target);
+        if !engine::store_packet_once(&mut self.store, page, target, &data[..len]) {
+            // Not a duplicate (checked above), so a transient write
+            // fault: the packet stays missing and the next request round
+            // retries it.
+            ctx.note_eeprom_write_failed(page, target);
+            self.stats.write_faults += 1;
+            return;
+        }
+        ctx.note_eeprom_write(page, target);
         ctx.note_parent(from);
+        self.stats.recovered += 1;
         if self.state == State::Rx && page == self.rx_page {
-            self.rx_missing.clear(pkt);
+            self.rx_missing.clear(target);
             self.rx_deadline = ctx.now + self.cfg.rx_timeout;
             ctx.set_timer(self.cfg.rx_timeout, self.token(T_RX_TIMEOUT));
         }
         if self.store.segment_complete(page) {
+            ctx.note_segment_complete(page);
             if self.store.is_complete() {
                 assert_eq!(
                     self.store.assembled_checksum(),
                     self.cfg.expected_checksum,
-                    "accuracy violation in Deluge transfer"
+                    "accuracy violation in XOR transfer"
                 );
                 self.completed = true;
                 ctx.note_completion();
@@ -360,19 +457,19 @@ impl Deluge {
     }
 }
 
-impl Protocol for Deluge {
-    type Msg = DelugeMsg;
+impl Protocol for Xor {
+    type Msg = XorMsg;
 
-    fn on_start(&mut self, ctx: &mut Context<'_, DelugeMsg>) {
+    fn on_start(&mut self, ctx: &mut Context<'_, XorMsg>) {
         if self.is_base {
             ctx.note_completion();
         }
         self.begin_interval(ctx);
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, DelugeMsg>, from: NodeId, msg: &DelugeMsg) {
+    fn on_message(&mut self, ctx: &mut Context<'_, XorMsg>, from: NodeId, msg: &XorMsg) {
         match msg {
-            DelugeMsg::Summary { source, pages } => {
+            XorMsg::Summary { source, pages } => {
                 if !self.heard_any && *pages > 0 {
                     self.heard_any = true;
                     ctx.note_first_heard();
@@ -384,7 +481,6 @@ impl Protocol for Deluge {
                     self.trickle_inconsistent(ctx);
                     if *pages > mine && self.state == State::Maintain && self.pending_req.is_none()
                     {
-                        // Ask for our next page after a suppression window.
                         self.pending_req = Some((*source, mine));
                         self.pending_suppressed = false;
                         let delay = ctx
@@ -394,14 +490,15 @@ impl Protocol for Deluge {
                     }
                 }
             }
-            DelugeMsg::PageReq {
+            XorMsg::PageReq {
                 dest,
+                requester,
                 page,
                 missing,
-                ..
             } => {
                 self.trickle_inconsistent(ctx);
-                // Overheard identical request: suppress our own pending one.
+                // Overheard identical request: suppress our own pending
+                // one.
                 if let Some((_, want)) = self.pending_req {
                     if *page == want {
                         self.pending_suppressed = true;
@@ -413,7 +510,8 @@ impl Protocol for Deluge {
                             self.transfer_timers.invalidate();
                             self.state = State::Tx;
                             self.tx_page = *page;
-                            self.fwd.load(*missing);
+                            self.reqs.clear();
+                            self.reqs.push((*requester, *missing));
                             self.stats.tx_rounds += 1;
                             ctx.note_became_sender();
                             let delay = ctx
@@ -422,15 +520,20 @@ impl Protocol for Deluge {
                             ctx.set_timer(delay, self.token(T_TX_TICK));
                         }
                         State::Tx if self.tx_page == *page => {
-                            self.fwd.union_with(missing);
+                            // A second requester joins the round: its
+                            // report is what makes mixing possible.
+                            match self.reqs.iter_mut().find(|(n, _)| n == requester) {
+                                Some((_, bm)) => bm.union_with(missing),
+                                None => self.reqs.push((*requester, *missing)),
+                            }
                         }
                         _ => {}
                     }
                 }
             }
-            DelugeMsg::Data { page, pkt, payload } => {
+            XorMsg::Xored { page, ids, payload } => {
                 self.trickle_inconsistent(ctx);
-                self.store_data(ctx, from, *page, *pkt, payload);
+                self.absorb_xored(ctx, from, *page, ids, payload);
             }
         }
     }
@@ -440,12 +543,12 @@ impl Protocol for Deluge {
         self.mux_for(kind).decode(token)
     }
 
-    fn on_timer_kind(&mut self, ctx: &mut Context<'_, DelugeMsg>, kind: u64) {
+    fn on_timer_kind(&mut self, ctx: &mut Context<'_, XorMsg>, kind: u64) {
         match kind {
             T_FIRE => {
                 if self.state == State::Maintain {
                     if self.trickle.should_fire() {
-                        ctx.send(DelugeMsg::Summary {
+                        ctx.send(XorMsg::Summary {
                             source: ctx.id,
                             pages: self.pages(),
                         });
@@ -466,17 +569,21 @@ impl Protocol for Deluge {
                 let Some((dest, page)) = self.pending_req.take() else {
                     return;
                 };
-                // Enter Rx either way; if suppressed we ride on the answer
-                // to the request we overheard.
+                if page != self.pages() {
+                    // Overheard broadcasts closed the page meanwhile.
+                    self.pending_suppressed = false;
+                    return;
+                }
+                // Enter Rx either way; if suppressed we ride on the
+                // answer to the request we overheard.
                 self.transfer_timers.invalidate();
                 self.state = State::Rx;
                 self.rx_page = page;
-                self.rx_missing = self.missing_for(page);
-                self.rx_requests = 1;
+                self.rx_missing = engine::missing_vector(&self.store, page);
                 if self.pending_suppressed {
                     self.stats.requests_suppressed += 1;
                 } else {
-                    ctx.send(DelugeMsg::PageReq {
+                    ctx.send(XorMsg::PageReq {
                         dest,
                         requester: ctx.id,
                         page,
@@ -497,44 +604,69 @@ impl Protocol for Deluge {
                     ctx.set_timer(remaining, self.token(T_RX_TIMEOUT));
                     return;
                 }
-                if self.rx_requests < self.cfg.max_requests {
-                    // Re-request from anyone; we address the request to the
-                    // last parent if known, else broadcast-style to any
-                    // holder is not possible — give up to maintenance where
-                    // the next summary restarts the handshake.
-                    self.rx_requests = self.rx_requests.saturating_add(1);
-                    self.enter_maintain(ctx);
-                } else {
-                    self.enter_maintain(ctx);
-                }
+                self.enter_maintain(ctx);
             }
             T_TX_TICK => {
                 if self.state != State::Tx {
                     return;
                 }
-                let limit = self.cfg.layout.packets_in_segment(self.tx_page);
-                match self.fwd.pop_round_robin(limit) {
-                    Some(pkt) => {
-                        let payload = self
-                            .store
-                            .read_packet(self.tx_page, pkt)
-                            .expect("Tx node holds the page")
-                            .to_vec();
-                        ctx.send(DelugeMsg::Data {
-                            page: self.tx_page,
-                            pkt,
-                            payload,
-                        });
-                        let delay = ctx
-                            .rng
-                            .jittered(self.cfg.data_packet_period, self.cfg.data_packet_jitter);
-                        ctx.set_timer(delay, self.token(T_TX_TICK));
-                    }
-                    None => self.enter_maintain(ctx),
+                let ids = self.plan_mix();
+                if ids.is_empty() {
+                    self.enter_maintain(ctx);
+                    return;
                 }
+                let width = self.cfg.layout.payload_bytes();
+                let mut payload = vec![0u8; width];
+                for &p in &ids {
+                    let held = self
+                        .store
+                        .read_packet(self.tx_page, p)
+                        .expect("Tx node holds the page");
+                    let held = padded_packet(held, width);
+                    for (d, s) in payload.iter_mut().zip(&held) {
+                        *d ^= s;
+                    }
+                }
+                self.stats.xored_sent += 1;
+                if ids.len() > 1 {
+                    self.stats.mixed_sent += 1;
+                }
+                ctx.send(XorMsg::Xored {
+                    page: self.tx_page,
+                    ids: ids.clone(),
+                    payload,
+                });
+                self.clear_served(&ids);
+                let delay = ctx
+                    .rng
+                    .jittered(self.cfg.data_packet_period, self.cfg.data_packet_jitter);
+                ctx.set_timer(delay, self.token(T_TX_TICK));
             }
             other => unreachable!("unknown timer kind {other}"),
         }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, XorMsg>) {
+        // A crash wipes RAM but not flash; pre-crash timers decode as
+        // stale after the epoch bump.
+        self.transfer_timers.invalidate();
+        self.maintain_timers.invalidate();
+        self.state = State::Maintain;
+        self.trickle = Trickle::new(self.cfg.trickle);
+        self.pending_req = None;
+        self.pending_suppressed = false;
+        self.rx_missing = PacketBitmap::empty();
+        self.reqs.clear();
+        self.heard_any = false;
+        self.completed = self.store.is_complete();
+        // Segments verified on flash were reported before the crash; only
+        // the protocol side re-arms here (the observers' in-order segment
+        // accounting forbids re-reporting).
+        self.begin_interval(ctx);
+    }
+
+    fn inject_storage_fault(&mut self, failures: u32) {
+        self.store.inject_write_faults(failures);
     }
 
     fn eeprom_ops(&self) -> EepromOps {
@@ -550,5 +682,5 @@ impl Protocol for Deluge {
 }
 
 #[cfg(test)]
-#[path = "deluge_tests.rs"]
+#[path = "xor_tests.rs"]
 mod tests;

@@ -20,16 +20,23 @@
 //!
 //! The [`trickle`] module provides the Trickle timer (Levis et al.) that
 //! Deluge's maintenance plane is built on.
+//!
+//! Beyond the paper's contemporaries, the [`coded`] module adds the
+//! network-coded family — [`Rlnc`] (random-linear coding over GF(256))
+//! and [`Xor`] (single-hop XOR recoding) — which replaces the
+//! MissingVector/ForwardVector retransmission dance entirely.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod coded;
 pub mod deluge;
 pub mod flood;
 pub mod moap;
 pub mod trickle;
 pub mod xnp;
 
+pub use coded::{Rlnc, RlncConfig, RlncMsg, Xor, XorConfig, XorMsg};
 pub use deluge::{Deluge, DelugeConfig, DelugeMsg};
 pub use flood::{Flood, FloodConfig, FloodMsg};
 pub use moap::{Moap, MoapConfig, MoapMsg};

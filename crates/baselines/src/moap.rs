@@ -197,7 +197,7 @@ pub struct Moap {
     timers: TimerMux,
 
     // Publisher
-    subscribers: u16,
+    subscribers: u32,
     cursor: ImageCursor,
     nak_deadline: SimTime,
     repair_queue: Vec<(u16, PacketBitmap)>,
@@ -353,7 +353,7 @@ impl Protocol for Moap {
             }
             MoapMsg::Subscribe { dest, .. } => {
                 if *dest == ctx.id && matches!(self.state, State::Publish | State::GatherSubs) {
-                    self.subscribers += 1;
+                    self.subscribers = self.subscribers.saturating_add(1);
                     if self.state == State::Publish {
                         self.timers.invalidate();
                         self.state = State::GatherSubs;

@@ -135,7 +135,7 @@ pub struct Xnp {
     state: XnpState,
     timers: TimerMux,
     cursor: ImageCursor,
-    pass: u32,
+    pass: u64,
 }
 
 impl Xnp {
@@ -252,7 +252,7 @@ impl Protocol for Xnp {
         // Advance the cursor, wrapping per pass.
         if self.cursor.step(self.cfg.layout) {
             self.pass += 1;
-            if self.pass < self.cfg.max_passes {
+            if self.pass < u64::from(self.cfg.max_passes) {
                 self.schedule_tick(ctx, self.cfg.inter_pass_gap);
             } else {
                 self.state = XnpState::Done;
@@ -354,5 +354,29 @@ mod tests {
         net.run_until(|_| false, SimTime::from_secs(3_600));
         let sent = net.trace().node(NodeId(0)).sent;
         assert_eq!(sent, 2 * 128, "exactly two passes of a 128-packet image");
+    }
+
+    #[test]
+    fn pass_counter_survives_far_past_255_rounds() {
+        // Regression for the narrow-counter overflow class (an 8-bit
+        // round counter wraps at 256 and the budget check goes wrong):
+        // 300 passes of a 2-packet image must stop at exactly 300 passes.
+        let img = ProgramImage::synthetic(ProgramId(1), ImageLayout::from_packets(2));
+        let mut cfg = XnpConfig::for_image(&img);
+        cfg.max_passes = 300;
+        let mut links = LinkTable::new(2);
+        links.connect(NodeId(0), NodeId(1), 0.0);
+        links.connect(NodeId(1), NodeId(0), 0.0);
+        let mut net: Network<Xnp> = NetworkBuilder::new(links, 4).build(|id, _| {
+            if id == NodeId(0) {
+                Xnp::base_station(cfg.clone(), &img)
+            } else {
+                Xnp::node(cfg.clone())
+            }
+        });
+        net.run_until(|_| false, SimTime::from_secs(3_600));
+        let sent = net.trace().node(NodeId(0)).sent;
+        assert_eq!(sent, 300 * 2, "exactly 300 passes of a 2-packet image");
+        assert_eq!(net.protocol(NodeId(0)).state_label(), "Done");
     }
 }

@@ -1,0 +1,94 @@
+//! Property tests for the coding layer: the GF(256) field axioms the
+//! RLNC decoder's correctness rests on, and the decoder's rank
+//! discipline.
+
+use proptest::prelude::*;
+
+use mnp_baselines::coded::decoder::{derive_coeffs, encode, GenDecoder};
+use mnp_baselines::coded::gf256;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 256,
+    })]
+
+    /// Multiplication and division round-trip: `(a·b)/b == a` for b ≠ 0.
+    #[test]
+    fn prop_mul_div_round_trip(a in 0u8..=255, b in 1u8..=255) {
+        prop_assert_eq!(gf256::div(gf256::mul(a, b), b), a);
+        prop_assert_eq!(gf256::mul(gf256::div(a, b), b), a);
+    }
+
+    /// Multiplication distributes over addition (XOR).
+    #[test]
+    fn prop_mul_distributes_over_add(a in 0u8..=255, b in 0u8..=255, c in 0u8..=255) {
+        prop_assert_eq!(
+            gf256::mul(a, gf256::add(b, c)),
+            gf256::add(gf256::mul(a, b), gf256::mul(a, c))
+        );
+    }
+
+    /// Multiplication is commutative and associative.
+    #[test]
+    fn prop_mul_commutes_and_associates(a in 0u8..=255, b in 0u8..=255, c in 0u8..=255) {
+        prop_assert_eq!(gf256::mul(a, b), gf256::mul(b, a));
+        prop_assert_eq!(
+            gf256::mul(gf256::mul(a, b), c),
+            gf256::mul(a, gf256::mul(b, c))
+        );
+    }
+
+    /// Every nonzero byte has a two-sided multiplicative inverse.
+    #[test]
+    fn prop_every_nonzero_byte_has_an_inverse(x in 1u8..=255) {
+        let i = gf256::inv(x);
+        prop_assert_eq!(gf256::mul(x, i), 1);
+        prop_assert_eq!(gf256::mul(i, x), 1);
+        prop_assert_eq!(gf256::div(1, x), i);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48, // each case runs a full decode
+    })]
+
+    /// Feeding a decoder seed-derived random combinations: the rank never
+    /// decreases, `absorb` returns true exactly when the rank rose,
+    /// packets read out only at full rank (`rank == gen_size`), and the
+    /// decoded packets equal the sources.
+    #[test]
+    fn prop_decoder_rank_is_monotone_and_decode_needs_full_rank(
+        gen_size in 1usize..24,
+        width in 1usize..24,
+        gen in 0u16..4,
+        seed0 in 0u32..1_000_000,
+    ) {
+        let sources: Vec<Vec<u8>> = (0..gen_size)
+            .map(|i| (0..width).map(|j| (i * 37 + j * 11 + 3) as u8).collect())
+            .collect();
+        let mut dec = GenDecoder::new(gen_size, width);
+        let mut seed = seed0;
+        let mut absorbed = 0usize;
+        while !dec.is_full() {
+            // Dependent draws happen (~1/256 per packet); bound the loop
+            // generously rather than assuming every draw is innovative.
+            prop_assert!(absorbed < 16 * gen_size + 64, "rank stalled");
+            let before = dec.rank();
+            prop_assert!(dec.packet(0).is_none(), "no read-out below full rank");
+            let coeffs = derive_coeffs(gen, seed, gen_size);
+            let coded = encode(&coeffs, &sources, width);
+            let innovative = dec.absorb(&coeffs, &coded);
+            let after = dec.rank();
+            prop_assert!(after >= before, "rank decreased");
+            prop_assert_eq!(innovative, after == before + 1);
+            prop_assert!(after <= gen_size, "rank above generation size");
+            seed = seed.wrapping_add(1);
+            absorbed += 1;
+        }
+        prop_assert_eq!(dec.rank(), gen_size);
+        for (i, src) in sources.iter().enumerate() {
+            prop_assert_eq!(dec.packet(i).expect("full rank"), src.as_slice());
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! Usage: mnp-run [--rows N] [--cols N] [--spacing FT] [--segments N]
 //!                [--power LEVEL] [--seed N] [--seeds A,B,...]
-//!                [--protocol mnp|deluge]
+//!                [--protocol mnp|deluge|rlnc|xor]
 //!                [--capture] [--heatmap] [--parents]
 //!                [--events PATH] [--metrics PATH] [--timeline PATH]
 //!                [--check-invariants]
@@ -14,8 +14,11 @@
 //!                        [--stride N] [--sample-ms MS] [--top N]
 //!                        [--out PATH] [--series PATH] [--timeline PATH]
 //!        mnp-run report OLD NEW
-//!        mnp-run chaos [--seed N] [--grid N] [--crashes A,B,...]
-//!                      [--flaps A,B,...]
+//!        mnp-run coded [--rows N] [--cols N] [--segments N] [--seed N]
+//!                      [--losses A,B,... (percent)] [--out PATH]
+//!        mnp-run chaos [--seed N] [--grid N] [--protocol mnp|rlnc|xor]
+//!                      [--crashes A,B,...] [--flaps A,B,...]
+//!                      [--storage A,B,...]
 //!        mnp-run fuzz [--runs N] [--seed N] [--policy fifo|permute]
 //!                     [--shrink-budget N] [--out PATH]
 //!        mnp-run repro PATH
@@ -29,11 +32,19 @@
 //! loadable in Perfetto, and `--check-invariants` an online protocol
 //! safety monitor that fails fast on any violation.
 //!
+//! `mnp-run coded` runs the loss-sweep comparison campaign
+//! (`mnp_experiments::coded_cmp`): MNP vs Deluge vs RLNC vs XOR at each
+//! swept per-link packet-loss rate, measuring completion time, mean
+//! active radio time, and message count, and writing the
+//! `CODED_cmp.json` artifact.
+//!
 //! `mnp-run chaos` runs the transient-fault sweep: deterministic
-//! [`FaultPlan`](mnp_net::FaultPlan)s injecting crash–restarts and link
-//! flaps on an N×N grid, reporting coverage and the completion-time
-//! penalty per fault count. It exits non-zero if any node failed to
-//! complete (transient faults must not cost coverage).
+//! [`FaultPlan`](mnp_net::FaultPlan)s injecting crash–restarts, link
+//! flaps, and EEPROM write-fault bursts on an N×N grid, reporting
+//! coverage and the completion-time penalty per fault count —
+//! `--protocol` picks which dissemination protocol runs the gauntlet.
+//! It exits non-zero if any node failed to complete (transient faults
+//! must not cost coverage).
 //!
 //! `mnp-run fuzz` runs the schedule-exploration fuzz campaign
 //! (DESIGN.md §11): seeded random scenarios — grid, faults, and optionally
@@ -77,7 +88,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use mnp_experiments::{fuzz, report, resilience, scale, GridExperiment, RunOutcome};
+use mnp_experiments::{coded_cmp, fuzz, report, resilience, scale, GridExperiment, RunOutcome};
 use mnp_net::Observer;
 use mnp_obs::{
     InvariantMonitor, JsonlLogger, MetricsRegistry, ProfileReport, Shared, TimeSeriesSampler,
@@ -204,7 +215,7 @@ impl Args {
     }
 }
 
-const USAGE: &str = "Usage: mnp-run [--rows N] [--cols N] [--spacing FT] [--segments N]\n               [--power LEVEL] [--seed N] [--seeds A,B,...]\n               [--protocol mnp|deluge]\n               [--capture] [--heatmap] [--parents]\n               [--events PATH] [--metrics PATH] [--timeline PATH]\n               [--check-invariants]\n       mnp-run scale [--seed N] [--segments N] [--out PATH]\n                     [--grids RxC[@SHARDS],...] [--shards A,B,...]\n                     [--history PATH] [--allow-dirty] [--compare]\n       mnp-run profile [--rows N] [--cols N] [--segments N] [--seed N]\n                       [--stride N] [--sample-ms MS] [--top N]\n                       [--out PATH] [--series PATH] [--timeline PATH]\n       mnp-run report OLD NEW\n       mnp-run chaos [--seed N] [--grid N] [--crashes A,B,...]\n                     [--flaps A,B,...]\n       mnp-run fuzz [--runs N] [--seed N] [--policy fifo|permute]\n                    [--shrink-budget N] [--out PATH]\n       mnp-run repro PATH";
+const USAGE: &str = "Usage: mnp-run [--rows N] [--cols N] [--spacing FT] [--segments N]\n               [--power LEVEL] [--seed N] [--seeds A,B,...]\n               [--protocol mnp|deluge|rlnc|xor]\n               [--capture] [--heatmap] [--parents]\n               [--events PATH] [--metrics PATH] [--timeline PATH]\n               [--check-invariants]\n       mnp-run scale [--seed N] [--segments N] [--out PATH]\n                     [--grids RxC[@SHARDS],...] [--shards A,B,...]\n                     [--history PATH] [--allow-dirty] [--compare]\n       mnp-run profile [--rows N] [--cols N] [--segments N] [--seed N]\n                       [--stride N] [--sample-ms MS] [--top N]\n                       [--out PATH] [--series PATH] [--timeline PATH]\n       mnp-run report OLD NEW\n       mnp-run coded [--rows N] [--cols N] [--segments N] [--seed N]\n                     [--losses A,B,... (percent)] [--out PATH]\n       mnp-run chaos [--seed N] [--grid N] [--protocol mnp|rlnc|xor]\n                     [--crashes A,B,...] [--flaps A,B,...]\n                     [--storage A,B,...]\n       mnp-run fuzz [--runs N] [--seed N] [--policy fifo|permute]\n                    [--shrink-budget N] [--out PATH]\n       mnp-run repro PATH";
 
 fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String>
 where
@@ -234,6 +245,15 @@ fn main() -> ExitCode {
     }
     if std::env::args().nth(1).as_deref() == Some("report") {
         return match run_report(std::env::args().skip(2)) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if std::env::args().nth(1).as_deref() == Some("coded") {
+        return match run_coded(std::env::args().skip(2)) {
             Ok(code) => code,
             Err(msg) => {
                 eprintln!("{msg}");
@@ -330,8 +350,10 @@ fn main() -> ExitCode {
     let out = match args.protocol.as_str() {
         "mnp" => scenario.run_mnp_observed(|_| {}, observers),
         "deluge" => scenario.run_deluge_observed(|_| {}, observers),
+        "rlnc" => scenario.run_rlnc_observed(|_| {}, observers),
+        "xor" => scenario.run_xor_observed(|_| {}, observers),
         other => {
-            eprintln!("unknown protocol {other:?} (use mnp or deluge)");
+            eprintln!("unknown protocol {other:?} (use mnp, deluge, rlnc, or xor)");
             return ExitCode::FAILURE;
         }
     };
@@ -636,12 +658,65 @@ fn run_report(mut it: impl Iterator<Item = String>) -> Result<ExitCode, String> 
     Ok(ExitCode::SUCCESS)
 }
 
-/// `mnp-run chaos`: the transient-fault (crash–restart + link-flap) sweep.
+/// `mnp-run coded`: the loss-sweep comparison campaign (MNP vs Deluge vs
+/// RLNC vs XOR) behind `CODED_cmp.json`.
+fn run_coded(mut it: impl Iterator<Item = String>) -> Result<ExitCode, String> {
+    let mut rows = 6usize;
+    let mut cols = 6usize;
+    let mut segments = 1u16;
+    let mut seed = 42u64;
+    let mut losses: Vec<f64> = vec![0.0, 10.0, 20.0];
+    let mut out_path = String::from("CODED_cmp.json");
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--rows" => rows = parse(&value("--rows")?)?,
+            "--cols" => cols = parse(&value("--cols")?)?,
+            "--segments" => segments = parse(&value("--segments")?)?,
+            "--seed" => seed = parse(&value("--seed")?)?,
+            "--losses" => {
+                losses = value("--losses")?
+                    .split(',')
+                    .filter(|part| !part.is_empty())
+                    .map(parse)
+                    .collect::<Result<_, _>>()?;
+            }
+            "--out" => out_path = value("--out")?,
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if losses.is_empty() {
+        return Err("--losses needs at least one rate".into());
+    }
+    // Loss rates arrive in percent (10 = 10%) for CLI ergonomics.
+    let fractions: Vec<f64> = losses.iter().map(|&p| p / 100.0).collect();
+    if fractions.iter().any(|&p| !(0.0..1.0).contains(&p)) {
+        return Err("--losses entries must be percentages in [0, 100)".into());
+    }
+    let cmp = coded_cmp::run_with(rows, cols, segments, seed, &fractions);
+    print!("{cmp}");
+    std::fs::write(&out_path, cmp.render_json())
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!("wrote {out_path}");
+    let all_completed = cmp.points.iter().flat_map(|p| &p.rows).all(|r| r.completed);
+    Ok(if all_completed {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("some protocol missed the deadline at some loss rate");
+        ExitCode::FAILURE
+    })
+}
+
+/// `mnp-run chaos`: the transient-fault sweep (crash–restarts, link
+/// flaps, storage-fault bursts) under the chosen protocol.
 fn run_chaos(mut it: impl Iterator<Item = String>) -> Result<ExitCode, String> {
     let mut seed = 42u64;
     let mut grid = 8usize;
+    let mut protocol = resilience::ChaosProtocol::Mnp;
     let mut crashes: Vec<usize> = vec![0, 2, 4, 8];
     let mut flaps: Vec<usize> = vec![0, 8, 16, 32];
+    let mut storage: Vec<usize> = Vec::new();
     // An empty value ("--flaps ''") disables that sweep entirely.
     let parse_counts = |s: String| {
         s.split(',')
@@ -654,19 +729,21 @@ fn run_chaos(mut it: impl Iterator<Item = String>) -> Result<ExitCode, String> {
         match flag.as_str() {
             "--seed" => seed = parse(&value("--seed")?)?,
             "--grid" => grid = parse(&value("--grid")?)?,
+            "--protocol" => {
+                let name = value("--protocol")?;
+                protocol = resilience::ChaosProtocol::from_name(&name)
+                    .ok_or_else(|| format!("unknown protocol {name:?} (mnp|rlnc|xor)"))?;
+            }
             "--crashes" => crashes = parse_counts(value("--crashes")?)?,
             "--flaps" => flaps = parse_counts(value("--flaps")?)?,
+            "--storage" => storage = parse_counts(value("--storage")?)?,
             "--help" | "-h" => return Err(USAGE.into()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
     }
-    let chaos = resilience::run_chaos_with(grid, &crashes, &flaps, seed);
+    let chaos = resilience::run_chaos_matrix(protocol, grid, &crashes, &flaps, &storage, seed);
     print!("{chaos}");
-    let full_coverage = chaos
-        .crash_rows
-        .iter()
-        .chain(&chaos.flap_rows)
-        .all(|r| (r.coverage - 1.0).abs() < 1e-9);
+    let full_coverage = chaos.all_rows().all(|r| (r.coverage - 1.0).abs() < 1e-9);
     Ok(if full_coverage {
         ExitCode::SUCCESS
     } else {
@@ -802,8 +879,10 @@ fn run_seeds(args: &Args, scenario: &GridExperiment, seeds: &[u64]) -> ExitCode 
     let outs = match args.protocol.as_str() {
         "mnp" => scenario.run_seeds(seeds),
         "deluge" => scenario.run_seeds_with(seeds, |s| s.run_deluge(|_| {})),
+        "rlnc" => scenario.run_seeds_with(seeds, |s| s.run_rlnc(|_| {})),
+        "xor" => scenario.run_seeds_with(seeds, |s| s.run_xor(|_| {})),
         other => {
-            eprintln!("unknown protocol {other:?} (use mnp or deluge)");
+            eprintln!("unknown protocol {other:?} (use mnp, deluge, rlnc, or xor)");
             return ExitCode::FAILURE;
         }
     };

@@ -1,0 +1,178 @@
+//! The loss-sweep comparison campaign: MNP vs Deluge vs the coded
+//! family (RLNC, XOR recoding) across packet-loss rates.
+//!
+//! The axes are the paper's Fig. 8/10 trio — completion time, mean
+//! active radio time, total messages — measured while an independent
+//! per-link packet-loss probability sweeps upward
+//! ([`GridExperiment::extra_loss`]). The question the campaign answers:
+//! where on the loss axis does coding's "any innovative packet helps"
+//! property beat the per-packet request/repair dance, and what does the
+//! cheap XOR recoder recover of that gain.
+
+use std::fmt;
+
+use mnp_sim::SimTime;
+
+use crate::deluge_cmp::CmpRow;
+use crate::runner::GridExperiment;
+
+/// All protocol rows measured at one loss rate.
+#[derive(Clone, Debug)]
+pub struct LossPoint {
+    /// The per-link extra packet-loss probability.
+    pub loss: f64,
+    /// MNP, Deluge, RLNC, XOR rows, in that order.
+    pub rows: Vec<CmpRow>,
+}
+
+/// The campaign result: one [`LossPoint`] per swept rate.
+#[derive(Clone, Debug)]
+pub struct CodedCmp {
+    /// Scenario label.
+    pub label: String,
+    /// One point per loss rate, in sweep order.
+    pub points: Vec<LossPoint>,
+}
+
+/// Protocol names in row order, shared by the sweep and its artifact.
+pub const PROTOCOLS: [&str; 4] = ["MNP", "Deluge-like", "RLNC", "XOR"];
+
+/// Runs the default campaign: 6×6 grid, 1-segment image, losses
+/// 0% / 10% / 20%.
+pub fn run(seed: u64) -> CodedCmp {
+    run_with(6, 6, 1, seed, &[0.0, 0.10, 0.20])
+}
+
+/// Runs a parameterized sweep: every protocol at every loss rate.
+pub fn run_with(rows: usize, cols: usize, segments: u16, seed: u64, losses: &[f64]) -> CodedCmp {
+    assert!(!losses.is_empty(), "empty loss sweep");
+    let scenario = GridExperiment::new(rows, cols, 10.0)
+        .segments(segments)
+        .seed(seed)
+        .deadline(SimTime::from_secs(8 * 3_600));
+    let points = losses
+        .iter()
+        .map(|&loss| {
+            let s = scenario.clone().extra_loss(loss);
+            LossPoint {
+                loss,
+                rows: vec![
+                    crate::deluge_cmp::to_row(PROTOCOLS[0], &s.run_mnp(|_| {})),
+                    crate::deluge_cmp::to_row(PROTOCOLS[1], &s.run_deluge(|_| {})),
+                    crate::deluge_cmp::to_row(PROTOCOLS[2], &s.run_rlnc(|_| {})),
+                    crate::deluge_cmp::to_row(PROTOCOLS[3], &s.run_xor(|_| {})),
+                ],
+            }
+        })
+        .collect();
+    CodedCmp {
+        label: format!("{rows}x{cols} grid, {segments} segments, seed {seed}, losses {losses:?}"),
+        points,
+    }
+}
+
+impl CodedCmp {
+    /// Renders the campaign as the `CODED_cmp.json` artifact (schema v1).
+    pub fn render_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"schema_version\": 1,\n");
+        s.push_str(&format!(
+            "  \"label\": \"{}\",\n  \"points\": [\n",
+            self.label.replace('"', "\\\"")
+        ));
+        for (i, p) in self.points.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"loss\": {:.4},\n", p.loss));
+            s.push_str("      \"protocols\": [\n");
+            for (j, r) in p.rows.iter().enumerate() {
+                s.push_str(&format!(
+                    "        {{ \"protocol\": \"{}\", \"completed\": {}, \
+                     \"completion_s\": {:.3}, \"mean_art_s\": {:.3}, \"messages\": {:.0} }}{}\n",
+                    r.protocol,
+                    r.completed,
+                    r.completion_s,
+                    r.art_s,
+                    r.messages,
+                    if j + 1 < p.rows.len() { "," } else { "" }
+                ));
+            }
+            s.push_str("      ]\n");
+            s.push_str(&format!(
+                "    }}{}\n",
+                if i + 1 < self.points.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+impl fmt::Display for CodedCmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== Coded comparison: {} ===", self.label)?;
+        for p in &self.points {
+            writeln!(f, "--- extra loss {:.0}% ---", p.loss * 100.0)?;
+            writeln!(
+                f,
+                "protocol     completed  completion(s)  mean ART(s)  messages"
+            )?;
+            for r in &p.rows {
+                writeln!(
+                    f,
+                    "{:<12} {:>9} {:>14.0} {:>12.0} {:>9.0}",
+                    r.protocol, r.completed, r.completion_s, r.art_s, r.messages
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_every_protocol_at_every_loss() {
+        let cmp = run_with(3, 3, 1, 51, &[0.0, 0.15]);
+        assert_eq!(cmp.points.len(), 2);
+        for p in &cmp.points {
+            assert_eq!(p.rows.len(), 4);
+            for (r, name) in p.rows.iter().zip(PROTOCOLS) {
+                assert_eq!(r.protocol, name);
+                assert!(
+                    r.completed,
+                    "{name} must complete at {:.0}%",
+                    p.loss * 100.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loss_slows_every_protocol() {
+        let cmp = run_with(3, 3, 1, 53, &[0.0, 0.25]);
+        for (clean, lossy) in cmp.points[0].rows.iter().zip(&cmp.points[1].rows) {
+            assert!(
+                lossy.completion_s > clean.completion_s,
+                "{}: {:.0}s clean vs {:.0}s lossy",
+                clean.protocol,
+                clean.completion_s,
+                lossy.completion_s
+            );
+        }
+    }
+
+    #[test]
+    fn json_artifact_has_schema_and_rows() {
+        let cmp = run_with(3, 3, 1, 51, &[0.0]);
+        let json = cmp.render_json();
+        assert!(json.contains("\"schema_version\": 1"), "{json}");
+        for name in PROTOCOLS {
+            assert!(
+                json.contains(&format!("\"protocol\": \"{name}\"")),
+                "{json}"
+            );
+        }
+    }
+}

@@ -57,7 +57,7 @@ pub fn run_with(rows: usize, cols: usize, segments: u16, seed: u64) -> DelugeCmp
     }
 }
 
-fn to_row(name: &'static str, out: &RunOutcome) -> CmpRow {
+pub(crate) fn to_row(name: &'static str, out: &RunOutcome) -> CmpRow {
     CmpRow {
         protocol: name,
         completion_s: out.completion_s(),

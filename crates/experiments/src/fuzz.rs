@@ -6,10 +6,13 @@
 //! always pop in insertion order, so an entire family of interleavings is
 //! never executed. This module explores that family deterministically:
 //!
-//! 1. **Generate** — [`generate`] draws a grid topology, protocol sizing,
+//! 1. **Generate** — [`generate`] draws a protocol under test (MNP or the
+//!    coded family, [`FuzzProtocol`]), a grid topology, protocol sizing,
 //!    and a transient-fault plan from a fuzz seed (crash–restarts, link
 //!    flaps, EEPROM write faults; never fail-stop kills, so the liveness
-//!    oracle below is sound).
+//!    oracle below is sound). RLNC runs add a decode-rank oracle: the
+//!    decoder's rank may never exceed the generation size, and a liveness
+//!    failure reports each stuck node's decoding frontier.
 //! 2. **Perturb** — the scenario optionally runs under
 //!    [`TieBreak::SeededPermutation`], which permutes the delivery order of
 //!    same-instant events while staying byte-replayable per seed.
@@ -31,7 +34,8 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use mnp::{Mnp, MnpConfig, MnpStats};
-use mnp_net::{FaultPlan, NetworkBuilder};
+use mnp_baselines::{Rlnc, RlncConfig, Xor, XorConfig};
+use mnp_net::{FaultPlan, Network, NetworkBuilder, Protocol};
 use mnp_obs::{InvariantMonitor, Observer, Shared};
 use mnp_radio::{MediumStats, NodeId, PowerLevel};
 use mnp_sim::{SimDuration, SimRng, SimTime, TieBreak};
@@ -80,10 +84,50 @@ pub enum FaultSpec {
     },
 }
 
+/// Which dissemination protocol a fuzz scenario runs.
+///
+/// The coded protocols bring their own oracle surface: the RLNC decoder's
+/// rank discipline is checked after every run ([`Rlnc::decode_rank`]), and
+/// a liveness failure reports each stuck node's decoding frontier so the
+/// repro points at *where* in the generation the rank stalled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FuzzProtocol {
+    /// The paper's protocol (the default, and the only choice in legacy
+    /// repros).
+    Mnp,
+    /// Random linear network coding over GF(256).
+    Rlnc,
+    /// XOR single-hop recoding.
+    Xor,
+}
+
+impl FuzzProtocol {
+    /// Stable lowercase name used in `repro.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            FuzzProtocol::Mnp => "mnp",
+            FuzzProtocol::Rlnc => "rlnc",
+            FuzzProtocol::Xor => "xor",
+        }
+    }
+
+    /// Parses a [`FuzzProtocol::name`] back.
+    pub fn from_name(s: &str) -> Option<FuzzProtocol> {
+        Some(match s {
+            "mnp" => FuzzProtocol::Mnp,
+            "rlnc" => FuzzProtocol::Rlnc,
+            "xor" => FuzzProtocol::Xor,
+            _ => return None,
+        })
+    }
+}
+
 /// A complete, self-describing fuzz scenario: everything needed to replay
 /// one run byte-for-byte.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FuzzScenario {
+    /// The protocol under test.
+    pub protocol: FuzzProtocol,
     /// Grid rows.
     pub rows: usize,
     /// Grid columns.
@@ -146,7 +190,8 @@ impl fmt::Display for FuzzScenario {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}x{} grid, {} seg, seed {}, {}, {} shard(s), {} fault(s), deadline {:.0}s",
+            "{}: {}x{} grid, {} seg, seed {}, {}, {} shard(s), {} fault(s), deadline {:.0}s",
+            self.protocol.name(),
             self.rows,
             self.cols,
             self.segments,
@@ -250,7 +295,17 @@ struct RunData {
     completed: bool,
     incomplete: Vec<u32>,
     medium: Vec<MediumStats>,
+    /// MNP protocol counters ([`FuzzProtocol::Mnp`] only; the coded
+    /// protocols carry their own stats types and are exempt from the
+    /// MNP counter-overflow oracle).
     stats: Vec<MnpStats>,
+    /// RLNC decoding frontier per *incomplete* node (`FuzzProtocol::Rlnc`
+    /// only): folded into the liveness message so a stuck repro names the
+    /// generation and rank where progress died.
+    ranks: Vec<String>,
+    /// First decoder rank-discipline violation (`rank > gen_size`), if
+    /// any — surfaced as [`FailureKind::Invariant`].
+    rank_violation: Option<String>,
 }
 
 /// Runs one scenario and applies the oracle set.
@@ -286,6 +341,12 @@ pub fn run_scenario(sc: &FuzzScenario) -> Verdict {
             message: v.clone(),
         });
     }
+    if let Some(v) = data.rank_violation {
+        return Verdict::Fail(FuzzFailure {
+            kind: FailureKind::Invariant,
+            message: v,
+        });
+    }
     for (i, m) in data.medium.iter().enumerate() {
         let resolved = m.frames_received + m.rx_corrupted + m.bit_error_losses + m.rx_aborted;
         // A node holds at most one reception lock, so at quiescence the
@@ -316,22 +377,31 @@ pub fn run_scenario(sc: &FuzzScenario) -> Verdict {
         }
     }
     if !data.completed {
+        let mut message = format!(
+            "nodes {:?} never completed before the {:.0}s deadline \
+             (all faults are transient, so they must)",
+            data.incomplete,
+            sc.deadline.as_secs_f64()
+        );
+        if !data.ranks.is_empty() {
+            message.push_str(&format!("; decode frontier: {}", data.ranks.join(", ")));
+        }
         return Verdict::Fail(FuzzFailure {
             kind: FailureKind::Liveness,
-            message: format!(
-                "nodes {:?} never completed before the {:.0}s deadline \
-                 (all faults are transient, so they must)",
-                data.incomplete,
-                sc.deadline.as_secs_f64()
-            ),
+            message,
         });
     }
     Verdict::Pass
 }
 
-/// Builds and runs the scenario's network; `Err` means the scenario is
-/// structurally invalid (cannot even be built).
-fn run_once(sc: &FuzzScenario, monitor: Box<dyn Observer + Send>) -> Result<RunData, String> {
+/// Builds the scenario's network for any protocol and runs it to the
+/// deadline; `Err` means the scenario is structurally invalid (cannot
+/// even be built).
+fn build_and_run<P: Protocol>(
+    sc: &FuzzScenario,
+    monitor: Box<dyn Observer + Send>,
+    make: impl FnMut(NodeId, &mut SimRng) -> P,
+) -> Result<(Network<P>, bool), String> {
     let grid = GridSpec::new(sc.rows, sc.cols, FUZZ_SPACING_FT);
     let mut topo_rng = SimRng::new(sc.seed).derive(0xdeadbeef);
     let topo = TopologyBuilder::new(grid.placement())
@@ -343,40 +413,111 @@ fn run_once(sc: &FuzzScenario, monitor: Box<dyn Observer + Send>) -> Result<RunD
     {
         return Err("sampled topology does not reach every node".into());
     }
-    let image = ProgramImage::synthetic(ProgramId(1), ImageLayout::paper_default(sc.segments));
-    let cfg = MnpConfig::for_image(&image);
     let mut net = NetworkBuilder::new(topo.links, sc.seed)
         .tie_break(sc.tie_break())
         .faults(sc.fault_plan())
         .shards(sc.shards)
         .observer(monitor)
-        .try_build(|id, _| {
-            if id == NodeId(0) {
-                Mnp::base_station(cfg.clone(), &image)
-            } else {
-                Mnp::node(cfg.clone())
-            }
-        })
+        .try_build(make)
         .map_err(|e| e.to_string())?;
     let completed = net.run_until_all_complete(sc.deadline);
-    let n = net.len();
-    let incomplete = (0..n)
+    Ok((net, completed))
+}
+
+/// Node ids that never completed, per a protocol-specific predicate.
+fn incomplete_of<P: Protocol>(net: &Network<P>, done: impl Fn(&P) -> bool) -> Vec<u32> {
+    (0..net.len())
         .map(NodeId::from_index)
-        .filter(|&id| !net.protocol(id).is_complete())
+        .filter(|&id| !done(net.protocol(id)))
         .map(|id| id.0)
-        .collect();
-    let medium = (0..n)
+        .collect()
+}
+
+/// Per-node medium accounting of a finished run.
+fn medium_of<P: Protocol>(net: &Network<P>) -> Vec<MediumStats> {
+    (0..net.len())
         .map(|i| net.medium_stats(NodeId::from_index(i)))
-        .collect();
-    let stats = (0..n)
-        .map(|i| net.protocol(NodeId::from_index(i)).stats)
-        .collect();
-    Ok(RunData {
-        completed,
-        incomplete,
-        medium,
-        stats,
-    })
+        .collect()
+}
+
+/// Runs the scenario under its protocol and collects the oracle inputs.
+fn run_once(sc: &FuzzScenario, monitor: Box<dyn Observer + Send>) -> Result<RunData, String> {
+    let image = ProgramImage::synthetic(ProgramId(1), ImageLayout::paper_default(sc.segments));
+    match sc.protocol {
+        FuzzProtocol::Mnp => {
+            let cfg = MnpConfig::for_image(&image);
+            let (net, completed) = build_and_run(sc, monitor, |id, _| {
+                if id == NodeId(0) {
+                    Mnp::base_station(cfg.clone(), &image)
+                } else {
+                    Mnp::node(cfg.clone())
+                }
+            })?;
+            let stats = (0..net.len())
+                .map(|i| net.protocol(NodeId::from_index(i)).stats)
+                .collect();
+            Ok(RunData {
+                completed,
+                incomplete: incomplete_of(&net, Mnp::is_complete),
+                medium: medium_of(&net),
+                stats,
+                ranks: Vec::new(),
+                rank_violation: None,
+            })
+        }
+        FuzzProtocol::Rlnc => {
+            let cfg = RlncConfig::for_image(&image);
+            let (net, completed) = build_and_run(sc, monitor, |id, _| {
+                if id == NodeId(0) {
+                    Rlnc::base_station(cfg.clone(), &image)
+                } else {
+                    Rlnc::node(cfg.clone())
+                }
+            })?;
+            let incomplete = incomplete_of(&net, Rlnc::is_complete);
+            let ranks = incomplete
+                .iter()
+                .map(|&i| {
+                    let (gen, rank, size) = net.protocol(NodeId(i)).decode_rank();
+                    format!("node {i}: gen {gen} rank {rank}/{size}")
+                })
+                .collect();
+            let rank_violation = (0..net.len()).find_map(|i| {
+                let (gen, rank, size) = net.protocol(NodeId::from_index(i)).decode_rank();
+                (rank > size).then(|| {
+                    format!(
+                        "node {i}: decoder rank {rank} exceeds generation size {size} (gen {gen})"
+                    )
+                })
+            });
+            Ok(RunData {
+                completed,
+                incomplete,
+                medium: medium_of(&net),
+                stats: Vec::new(),
+                ranks,
+                rank_violation,
+            })
+        }
+        FuzzProtocol::Xor => {
+            let cfg = XorConfig::for_image(&image);
+            let (net, completed) = build_and_run(sc, monitor, |id, _| {
+                if id == NodeId(0) {
+                    Xor::base_station(cfg.clone(), &image)
+                } else {
+                    Xor::node(cfg.clone())
+                }
+            })?;
+            Ok(RunData {
+                completed,
+                incomplete: incomplete_of(&net, Xor::is_complete),
+                medium: medium_of(&net),
+                stats: Vec::new(),
+                ranks: Vec::new(),
+                rank_violation: None,
+            })
+        }
+    }
 }
 
 /// The first protocol counter whose value is implausibly huge (a `u64`
@@ -418,6 +559,11 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// a liveness question of its own, probed separately.
 pub fn generate(fuzz_seed: u64, index: u64, permute: bool) -> FuzzScenario {
     let mut rng = SimRng::new(fuzz_seed).derive(index);
+    let protocol = match rng.index(3) {
+        0 => FuzzProtocol::Mnp,
+        1 => FuzzProtocol::Rlnc,
+        _ => FuzzProtocol::Xor,
+    };
     let rows = 3 + rng.index(3);
     let cols = 3 + rng.index(3);
     let segments = 1 + rng.index(2) as u16;
@@ -478,6 +624,7 @@ pub fn generate(fuzz_seed: u64, index: u64, permute: bool) -> FuzzScenario {
         });
     }
     FuzzScenario {
+        protocol,
         rows,
         cols,
         segments,
@@ -585,6 +732,7 @@ pub fn shrink(
 pub fn emit_repro(sc: &FuzzScenario, failure: &FuzzFailure) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!("  \"protocol\": \"{}\",\n", sc.protocol.name()));
     out.push_str(&format!("  \"rows\": {},\n", sc.rows));
     out.push_str(&format!("  \"cols\": {},\n", sc.cols));
     out.push_str(&format!("  \"segments\": {},\n", sc.segments));
@@ -831,16 +979,33 @@ impl<'a> Parser<'a> {
 
 /// Parses a `repro.json` back into the scenario it records (plus the
 /// advisory recorded failure kind, if present and well-formed).
+///
+/// Field policy: *absent* optional fields take their legacy defaults
+/// (`tie_seed` → FIFO, `shards` → 1 for pre-sharding repros, `protocol` →
+/// `"mnp"` for pre-coding repros), but a field that is *present with the
+/// wrong type* is a hard error — a repro whose `"shards": "four"` silently
+/// replayed sequentially would "reproduce" a different schedule than the
+/// one that failed.
 pub fn parse_repro(text: &str) -> Result<(FuzzScenario, Option<FailureKind>), String> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
     };
     let root = p.value()?;
-    let get = |name: &str| {
-        root.field(name)
-            .and_then(Json::num)
-            .ok_or_else(|| format!("missing integer field {name:?}"))
+    // Required integer: absent and mistyped are distinct errors.
+    let get = |name: &str| match root.field(name) {
+        None => Err(format!("missing integer field {name:?}")),
+        Some(v) => v
+            .num()
+            .ok_or_else(|| format!("field {name:?} is present but not an integer")),
+    };
+    // Optional integer: absent is fine (legacy repro), mistyped is not.
+    let opt = |name: &str| match root.field(name) {
+        None => Ok(None),
+        Some(v) => v
+            .num()
+            .map(Some)
+            .ok_or_else(|| format!("field {name:?} is present but not an integer")),
     };
     let version = get("version")?;
     if version != 1 {
@@ -849,10 +1014,11 @@ pub fn parse_repro(text: &str) -> Result<(FuzzScenario, Option<FailureKind>), St
     let mut faults = Vec::new();
     if let Some(Json::Arr(items)) = root.field("faults") {
         for item in items {
-            let fget = |name: &str| {
-                item.field(name)
-                    .and_then(Json::num)
-                    .ok_or_else(|| format!("fault missing integer field {name:?}"))
+            let fget = |name: &str| match item.field(name) {
+                None => Err(format!("fault missing integer field {name:?}")),
+                Some(v) => v
+                    .num()
+                    .ok_or_else(|| format!("fault field {name:?} is present but not an integer")),
             };
             let kind = item
                 .field("kind")
@@ -885,16 +1051,28 @@ pub fn parse_repro(text: &str) -> Result<(FuzzScenario, Option<FailureKind>), St
         .and_then(|f| f.field("kind"))
         .and_then(Json::str)
         .and_then(FailureKind::from_name);
+    let protocol = match root.field("protocol") {
+        // Absent in pre-coding repros: those all ran MNP.
+        None => FuzzProtocol::Mnp,
+        Some(v) => {
+            let name = v
+                .str()
+                .ok_or("field \"protocol\" is present but not a string")?;
+            FuzzProtocol::from_name(name)
+                .ok_or_else(|| format!("unknown protocol {name:?} (mnp|rlnc|xor)"))?
+        }
+    };
     Ok((
         FuzzScenario {
+            protocol,
             rows: get("rows")? as usize,
             cols: get("cols")? as usize,
             segments: get("segments")? as u16,
             seed: get("seed")?,
-            tie_seed: root.field("tie_seed").and_then(Json::num),
+            tie_seed: opt("tie_seed")?,
             deadline: SimTime::from_micros(get("deadline_us")?),
             // Absent in pre-sharding repros: those ran sequentially.
-            shards: root.field("shards").and_then(Json::num).unwrap_or(1) as usize,
+            shards: opt("shards")?.unwrap_or(1) as usize,
             faults,
         },
         recorded,
@@ -982,6 +1160,7 @@ mod tests {
 
     fn sample_scenario() -> FuzzScenario {
         FuzzScenario {
+            protocol: FuzzProtocol::Mnp,
             rows: 3,
             cols: 4,
             segments: 2,
@@ -1042,6 +1221,65 @@ mod tests {
     }
 
     #[test]
+    fn repro_json_roundtrips_coded_protocols() {
+        for protocol in [FuzzProtocol::Rlnc, FuzzProtocol::Xor] {
+            let sc = FuzzScenario {
+                protocol,
+                ..sample_scenario()
+            };
+            let failure = FuzzFailure {
+                kind: FailureKind::Liveness,
+                message: "x".into(),
+            };
+            let (parsed, _) = parse_repro(&emit_repro(&sc, &failure)).unwrap();
+            assert_eq!(parsed, sc);
+        }
+    }
+
+    #[test]
+    fn absent_optional_fields_take_legacy_defaults() {
+        // A pre-sharding, pre-coding repro: no shards, tie_seed, or
+        // protocol field. It must replay as the FIFO sequential MNP run
+        // it originally was.
+        let json = r#"{"version": 1, "rows": 3, "cols": 3, "segments": 1,
+                       "seed": 5, "deadline_us": 600000000, "faults": []}"#;
+        let (sc, recorded) = parse_repro(json).expect("legacy repro parses");
+        assert_eq!(sc.protocol, FuzzProtocol::Mnp);
+        assert_eq!(sc.shards, 1);
+        assert_eq!(sc.tie_seed, None);
+        assert_eq!(recorded, None);
+    }
+
+    #[test]
+    fn malformed_present_fields_are_hard_errors() {
+        // Present-but-mistyped must never fall back to a default: a repro
+        // that silently replays a different schedule is worse than one
+        // that refuses to load.
+        let base = |field: &str| {
+            format!(
+                r#"{{"version": 1, "rows": 3, "cols": 3, "segments": 1,
+                     "seed": 5, "deadline_us": 600000000, "faults": [], {field}}}"#
+            )
+        };
+        for (field, needle) in [
+            (r#""shards": "four""#, "shards"),
+            (r#""tie_seed": "low""#, "tie_seed"),
+            (r#""protocol": 7"#, "protocol"),
+            (r#""protocol": "fountain""#, "fountain"),
+        ] {
+            let err = parse_repro(&base(field)).expect_err(field);
+            assert!(err.contains(needle), "{field}: {err}");
+        }
+        // Mistyped fault fields are hard errors too.
+        let json = r#"{"version": 1, "rows": 3, "cols": 3, "segments": 1,
+                       "seed": 5, "deadline_us": 600000000, "faults":
+                       [{"kind": "storage_faults", "node": 2,
+                         "at_us": 1000, "failures": "two"}]}"#;
+        let err = parse_repro(json).expect_err("mistyped fault field");
+        assert!(err.contains("failures"), "{err}");
+    }
+
+    #[test]
     fn generation_is_deterministic_and_valid() {
         let a = generate(42, 3, true);
         let b = generate(42, 3, true);
@@ -1069,6 +1307,7 @@ mod tests {
     #[test]
     fn clean_scenario_passes_all_oracles() {
         let sc = FuzzScenario {
+            protocol: FuzzProtocol::Mnp,
             rows: 3,
             cols: 3,
             segments: 1,
@@ -1088,8 +1327,55 @@ mod tests {
     }
 
     #[test]
+    fn coded_scenarios_pass_all_oracles() {
+        // Both coded protocols through the full oracle set, including the
+        // RLNC decoder rank-discipline check and a storage fault (the
+        // coded commit paths must retry/re-request, not stall liveness).
+        for protocol in [FuzzProtocol::Rlnc, FuzzProtocol::Xor] {
+            let sc = FuzzScenario {
+                protocol,
+                rows: 3,
+                cols: 3,
+                segments: 1,
+                seed: 5,
+                tie_seed: Some(11),
+                deadline: SimTime::from_secs(4 * 3_600),
+                shards: 1,
+                faults: vec![FaultSpec::StorageFaults {
+                    node: 4,
+                    at: SimTime::from_secs(10),
+                    failures: 2,
+                }],
+            };
+            assert_eq!(
+                run_scenario(&sc),
+                Verdict::Pass,
+                "{} failed the oracle set",
+                protocol.name()
+            );
+        }
+    }
+
+    #[test]
+    fn generation_draws_every_protocol() {
+        let mut seen = [false; 3];
+        for i in 0..64 {
+            match generate(9, i, false).protocol {
+                FuzzProtocol::Mnp => seen[0] = true,
+                FuzzProtocol::Rlnc => seen[1] = true,
+                FuzzProtocol::Xor => seen[2] = true,
+            }
+            if seen.iter().all(|&s| s) {
+                return;
+            }
+        }
+        panic!("64 draws never covered all of mnp/rlnc/xor: {seen:?}");
+    }
+
+    #[test]
     fn orphaned_fault_is_invalid_not_failing() {
         let sc = FuzzScenario {
+            protocol: FuzzProtocol::Mnp,
             rows: 3,
             cols: 3,
             segments: 1,

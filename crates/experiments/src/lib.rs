@@ -17,6 +17,7 @@
 //! | [`fig12`] | Fig. 12 — message classes per one-minute window |
 //! | [`fig13`] | Fig. 13 — propagation snapshots |
 //! | [`deluge_cmp`] | §5 — MNP vs Deluge completion and ART |
+//! | [`coded_cmp`] | loss-sweep campaign — MNP vs Deluge vs RLNC vs XOR (`mnp-run coded`) |
 //! | [`diagonal`] | §5 — diagonal-vs-edge propagation dynamic |
 //! | [`battery`] | §6 — battery-aware sender selection extension |
 //! | [`subsets`] | §6 — subset (targeted) dissemination extension |
@@ -32,6 +33,7 @@
 pub mod ablation;
 pub mod battery;
 pub mod capture;
+pub mod coded_cmp;
 pub mod deluge_cmp;
 pub mod diagonal;
 pub mod fig05;

@@ -16,7 +16,8 @@
 use std::fmt;
 
 use mnp::{Mnp, MnpConfig};
-use mnp_net::{FaultPlan, Network, NetworkBuilder};
+use mnp_baselines::{Rlnc, RlncConfig, Xor, XorConfig};
+use mnp_net::{FaultPlan, Network, NetworkBuilder, Protocol};
 use mnp_radio::{LinkTable, NodeId};
 use mnp_sim::{SimDuration, SimRng, SimTime};
 use mnp_storage::{ImageLayout, ProgramId, ProgramImage};
@@ -123,15 +124,67 @@ pub struct ChaosRow {
     pub completion_s: f64,
 }
 
-/// The chaos sweep: transient crash–restart and link-flap resilience.
+/// Which protocol a chaos sweep disseminates with.
+///
+/// The coded protocols go through the same transient-fault gauntlet as
+/// MNP: crash–restarts must resume from the flash prefix, flapped links
+/// must re-request or re-mix, and storage faults must retry (RLNC) or
+/// re-request (XOR) without costing coverage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosProtocol {
+    /// The paper's protocol.
+    Mnp,
+    /// Random linear network coding over GF(256).
+    Rlnc,
+    /// XOR single-hop recoding.
+    Xor,
+}
+
+impl ChaosProtocol {
+    /// Stable lowercase name (the `mnp-run chaos --protocol` value).
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosProtocol::Mnp => "mnp",
+            ChaosProtocol::Rlnc => "rlnc",
+            ChaosProtocol::Xor => "xor",
+        }
+    }
+
+    /// Parses a [`ChaosProtocol::name`] back.
+    pub fn from_name(s: &str) -> Option<ChaosProtocol> {
+        Some(match s {
+            "mnp" => ChaosProtocol::Mnp,
+            "rlnc" => ChaosProtocol::Rlnc,
+            "xor" => ChaosProtocol::Xor,
+            _ => return None,
+        })
+    }
+}
+
+/// The chaos sweep: transient crash–restart, link-flap, and
+/// storage-fault resilience.
 #[derive(Clone, Debug)]
 pub struct Chaos {
     /// Grid label.
     pub label: String,
+    /// The protocol that disseminated.
+    pub protocol: ChaosProtocol,
     /// One row per crash–restart count.
     pub crash_rows: Vec<ChaosRow>,
     /// One row per link-flap count.
     pub flap_rows: Vec<ChaosRow>,
+    /// One row per storage-fault count.
+    pub storage_rows: Vec<ChaosRow>,
+}
+
+impl Chaos {
+    /// Every row across all three sweeps.
+    pub fn all_rows(&self) -> impl Iterator<Item = &ChaosRow> {
+        self.crash_rows
+            .iter()
+            .chain(&self.flap_rows)
+            .chain(&self.storage_rows)
+    }
 }
 
 /// Runs the default chaos sweep: 8×8 grid, 0–8 crash–restarts and 0–32
@@ -143,44 +196,134 @@ pub fn run_chaos(seed: u64) -> Chaos {
 /// Runs the chaos sweep on an `n×n` grid: one run per crash–restart count
 /// in `crashes`, one per link-flap count in `flaps`. Fault schedules come
 /// from a [`FaultPlan`] seeded from `seed`, so the whole sweep is
-/// reproducible.
+/// reproducible. MNP-only, no storage sweep — the legacy entry point;
+/// [`run_chaos_matrix`] is the full protocol × fault-class version.
 pub fn run_chaos_with(n: usize, crashes: &[usize], flaps: &[usize], seed: u64) -> Chaos {
+    run_chaos_matrix(ChaosProtocol::Mnp, n, crashes, flaps, &[], seed)
+}
+
+/// A seeded plan injecting `count` transient EEPROM write-fault bursts at
+/// random victims and instants. [`FaultPlan`] has seeded helpers for
+/// crashes and flaps but not storage, so the sampling lives here.
+fn random_storage_plan(
+    seed: u64,
+    count: usize,
+    victims: &[NodeId],
+    window: (SimTime, SimTime),
+) -> FaultPlan {
+    let mut rng = SimRng::new(seed).derive(0x570e);
+    let mut plan = FaultPlan::seeded(seed);
+    for _ in 0..count {
+        let node = victims[rng.index(victims.len())];
+        let at = SimTime::from_micros(rng.range_u64(window.0.as_micros(), window.1.as_micros()));
+        let failures = 1 + rng.index(3) as u32;
+        plan = plan.storage_faults(node, at, failures);
+    }
+    plan
+}
+
+/// One chaos run under any protocol: build the seeded topology, apply the
+/// plan, disseminate, and score coverage over *all* nodes.
+fn chaos_one<P: Protocol>(
+    grid: &GridSpec,
+    seed: u64,
+    plan_of: &dyn Fn(&LinkTable) -> FaultPlan,
+    injected: usize,
+    make: impl FnMut(NodeId, &mut SimRng) -> P,
+    done: impl Fn(&P) -> bool,
+) -> ChaosRow {
+    let mut topo_rng = SimRng::new(seed).derive(0xdeadbeef);
+    let topo = TopologyBuilder::new(grid.placement()).build(&mut topo_rng);
+    let plan = plan_of(&topo.links);
+    let mut net: Network<P> = NetworkBuilder::new(topo.links, seed)
+        .faults(plan)
+        .build(make);
+    let _ = net.run_until_all_complete(SimTime::from_secs(2 * 3_600));
+    let total = grid.nodes().count();
+    let completed = grid.nodes().filter(|&id| done(net.protocol(id))).count();
+    let completion = grid
+        .nodes()
+        .filter_map(|id| net.trace().node(id).completion)
+        .max()
+        .unwrap_or_else(|| net.now());
+    ChaosRow {
+        injected,
+        coverage: completed as f64 / total as f64,
+        completion_s: completion.as_secs_f64(),
+    }
+}
+
+/// Runs the full chaos matrix on an `n×n` grid: the chosen protocol under
+/// crash–restarts, link flaps, *and* EEPROM write-fault bursts — one run
+/// per count in each slice. Every fault class is transient, so full
+/// coverage is expected of every protocol; the interesting output is the
+/// completion-time penalty.
+pub fn run_chaos_matrix(
+    protocol: ChaosProtocol,
+    n: usize,
+    crashes: &[usize],
+    flaps: &[usize],
+    storage: &[usize],
+    seed: u64,
+) -> Chaos {
     let grid = GridSpec::new(n, n, 10.0);
     let image = ProgramImage::synthetic(ProgramId(1), ImageLayout::paper_default(1));
-    let cfg = MnpConfig::for_image(&image);
     // Faults land while dissemination is in full swing (a single-segment
     // grid run completes in roughly a minute).
     let window = (SimTime::from_secs(2), SimTime::from_secs(40));
     let non_base: Vec<NodeId> = grid.nodes().filter(|&id| id != grid.corner()).collect();
 
-    let run_one = |plan_of: &dyn Fn(&LinkTable) -> FaultPlan, injected: usize| {
-        let mut topo_rng = SimRng::new(seed).derive(0xdeadbeef);
-        let topo = TopologyBuilder::new(grid.placement()).build(&mut topo_rng);
-        let plan = plan_of(&topo.links);
-        let mut net: Network<Mnp> =
-            NetworkBuilder::new(topo.links, seed)
-                .faults(plan)
-                .build(|id, _| {
+    let run_one = |plan_of: &dyn Fn(&LinkTable) -> FaultPlan, injected: usize| match protocol {
+        ChaosProtocol::Mnp => {
+            let cfg = MnpConfig::for_image(&image);
+            chaos_one(
+                &grid,
+                seed,
+                plan_of,
+                injected,
+                |id, _| {
                     if id == grid.corner() {
                         Mnp::base_station(cfg.clone(), &image)
                     } else {
                         Mnp::node(cfg.clone())
                     }
-                });
-        let _ = net.run_until_all_complete(SimTime::from_secs(2 * 3_600));
-        let completed = grid
-            .nodes()
-            .filter(|&id| net.protocol(id).is_complete())
-            .count();
-        let completion = grid
-            .nodes()
-            .filter_map(|id| net.trace().node(id).completion)
-            .max()
-            .unwrap_or_else(|| net.now());
-        ChaosRow {
-            injected,
-            coverage: completed as f64 / (n * n) as f64,
-            completion_s: completion.as_secs_f64(),
+                },
+                Mnp::is_complete,
+            )
+        }
+        ChaosProtocol::Rlnc => {
+            let cfg = RlncConfig::for_image(&image);
+            chaos_one(
+                &grid,
+                seed,
+                plan_of,
+                injected,
+                |id, _| {
+                    if id == grid.corner() {
+                        Rlnc::base_station(cfg.clone(), &image)
+                    } else {
+                        Rlnc::node(cfg.clone())
+                    }
+                },
+                Rlnc::is_complete,
+            )
+        }
+        ChaosProtocol::Xor => {
+            let cfg = XorConfig::for_image(&image);
+            chaos_one(
+                &grid,
+                seed,
+                plan_of,
+                injected,
+                |id, _| {
+                    if id == grid.corner() {
+                        Xor::base_station(cfg.clone(), &image)
+                    } else {
+                        Xor::node(cfg.clone())
+                    }
+                },
+                Xor::is_complete,
+            )
         }
     };
 
@@ -216,35 +359,49 @@ pub fn run_chaos_with(n: usize, crashes: &[usize], flaps: &[usize], seed: u64) -
             )
         })
         .collect();
+    let storage_rows = storage
+        .iter()
+        .map(|&count| {
+            run_one(
+                &|_links| random_storage_plan(seed ^ 2, count, &non_base, window),
+                count,
+            )
+        })
+        .collect();
     Chaos {
         label: grid.to_string(),
+        protocol,
         crash_rows,
         flap_rows,
+        storage_rows,
     }
 }
 
 impl fmt::Display for Chaos {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "=== X3b: chaos (transient faults), {} ===", self.label)?;
-        writeln!(f, "crash-restarts  coverage  completion(s)")?;
-        for r in &self.crash_rows {
-            writeln!(
-                f,
-                "{:>14} {:>8.1}% {:>14.0}",
-                r.injected,
-                r.coverage * 100.0,
-                r.completion_s
-            )?;
-        }
-        writeln!(f, "link-flaps      coverage  completion(s)")?;
-        for r in &self.flap_rows {
-            writeln!(
-                f,
-                "{:>14} {:>8.1}% {:>14.0}",
-                r.injected,
-                r.coverage * 100.0,
-                r.completion_s
-            )?;
+        writeln!(
+            f,
+            "=== X3b: chaos (transient faults), {}, protocol {} ===",
+            self.label,
+            self.protocol.name()
+        )?;
+        let section = |f: &mut fmt::Formatter<'_>, title: &str, rows: &[ChaosRow]| {
+            writeln!(f, "{title}  coverage  completion(s)")?;
+            for r in rows {
+                writeln!(
+                    f,
+                    "{:>14} {:>8.1}% {:>14.0}",
+                    r.injected,
+                    r.coverage * 100.0,
+                    r.completion_s
+                )?;
+            }
+            Ok(())
+        };
+        section(f, "crash-restarts", &self.crash_rows)?;
+        section(f, "link-flaps    ", &self.flap_rows)?;
+        if !self.storage_rows.is_empty() {
+            section(f, "storage-faults", &self.storage_rows)?;
         }
         Ok(())
     }
@@ -307,5 +464,33 @@ mod tests {
             (c.flap_rows[0].coverage - 1.0).abs() < 1e-9,
             "flapped links recover, so everyone completes: {c}"
         );
+    }
+
+    #[test]
+    fn coded_protocols_survive_the_full_chaos_matrix() {
+        // Kills, flaps, and storage-fault bursts are all transient; the
+        // coded dissemination paths (decode-commit retries for RLNC,
+        // re-requests for XOR) must hold full coverage like MNP does.
+        for protocol in [ChaosProtocol::Rlnc, ChaosProtocol::Xor] {
+            let c = run_chaos_matrix(protocol, 4, &[2], &[4], &[3], 505);
+            assert_eq!(c.protocol, protocol);
+            assert_eq!(c.storage_rows.len(), 1);
+            for r in c.all_rows() {
+                assert!(
+                    (r.coverage - 1.0).abs() < 1e-9,
+                    "{} lost coverage under {} transient fault(s): {c}",
+                    protocol.name(),
+                    r.injected
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_protocol_names_roundtrip() {
+        for p in [ChaosProtocol::Mnp, ChaosProtocol::Rlnc, ChaosProtocol::Xor] {
+            assert_eq!(ChaosProtocol::from_name(p.name()), Some(p));
+        }
+        assert_eq!(ChaosProtocol::from_name("deluge"), None);
     }
 }

@@ -3,7 +3,7 @@
 use std::fmt;
 
 use mnp::{Mnp, MnpConfig};
-use mnp_baselines::{Deluge, DelugeConfig};
+use mnp_baselines::{Deluge, DelugeConfig, Rlnc, RlncConfig, Xor, XorConfig};
 use mnp_net::{FaultPlan, Network, NetworkBuilder, Observer, Protocol};
 use mnp_obs::{InvariantMonitor, Shared, TimeSeriesSampler};
 use mnp_radio::{NodeId, PowerLevel};
@@ -40,6 +40,18 @@ pub struct GridExperiment {
     faults: Option<FaultPlan>,
     tie_break: TieBreak,
     shards: usize,
+    extra_loss: f64,
+}
+
+/// Bits per full frame (18 overhead + 29 payload bytes): the repo-wide
+/// convention converting a per-packet loss probability to a BER.
+const FRAME_BITS: f64 = 376.0;
+
+/// The per-bit error rate at which a full frame is lost with probability
+/// `p` — the inverse of `1 - (1 - ber)^376`.
+fn ber_for_packet_loss(p: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p), "loss probability out of [0, 1)");
+    1.0 - (1.0 - p).powf(1.0 / FRAME_BITS)
 }
 
 impl GridExperiment {
@@ -61,7 +73,19 @@ impl GridExperiment {
             faults: None,
             tie_break: TieBreak::Fifo,
             shards: 1,
+            extra_loss: 0.0,
         }
+    }
+
+    /// Adds an independent per-packet loss probability `p` (0 ≤ p < 1)
+    /// on every sampled link — the loss-sweep axis of the comparison
+    /// campaign. The extra loss composes with each link's distance-based
+    /// BER *after* the connectivity check, so the sweep degrades a
+    /// topology that is viable at `p = 0` instead of rejecting it.
+    pub fn extra_loss(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "loss probability out of [0, 1)");
+        self.extra_loss = p;
+        self
     }
 
     /// Runs the simulation kernel sharded over `shards` worker threads
@@ -259,6 +283,59 @@ impl GridExperiment {
         RunOutcome::collect(&mut net, self.grid(), completed)
     }
 
+    /// Runs the random-linear-coding protocol over this scenario.
+    pub fn run_rlnc(&self, tweak: impl Fn(&mut RlncConfig)) -> RunOutcome {
+        self.run_rlnc_observed(tweak, Vec::new())
+    }
+
+    /// Runs the random-linear-coding protocol with `observers` attached.
+    pub fn run_rlnc_observed(
+        &self,
+        tweak: impl Fn(&mut RlncConfig),
+        observers: Vec<Box<dyn Observer + Send>>,
+    ) -> RunOutcome {
+        let mut cfg = RlncConfig::for_image(&self.image);
+        tweak(&mut cfg);
+        let base = self.base;
+        let image = self.image.clone();
+        let mut net = self.build_network(observers, None, |id, _| {
+            if id == base {
+                Rlnc::base_station(cfg.clone(), &image)
+            } else {
+                Rlnc::node(cfg.clone())
+            }
+        });
+        let completed = net.run_until_all_complete(self.deadline);
+        RunOutcome::collect(&mut net, self.grid(), completed)
+    }
+
+    /// Runs the XOR single-hop recoding protocol over this scenario.
+    pub fn run_xor(&self, tweak: impl Fn(&mut XorConfig)) -> RunOutcome {
+        self.run_xor_observed(tweak, Vec::new())
+    }
+
+    /// Runs the XOR single-hop recoding protocol with `observers`
+    /// attached.
+    pub fn run_xor_observed(
+        &self,
+        tweak: impl Fn(&mut XorConfig),
+        observers: Vec<Box<dyn Observer + Send>>,
+    ) -> RunOutcome {
+        let mut cfg = XorConfig::for_image(&self.image);
+        tweak(&mut cfg);
+        let base = self.base;
+        let image = self.image.clone();
+        let mut net = self.build_network(observers, None, |id, _| {
+            if id == base {
+                Xor::base_station(cfg.clone(), &image)
+            } else {
+                Xor::node(cfg.clone())
+            }
+        });
+        let completed = net.run_until_all_complete(self.deadline);
+        RunOutcome::collect(&mut net, self.grid(), completed)
+    }
+
     /// Runs MNP once per seed, fanning the runs across threads; outcomes
     /// come back in `seeds` order.
     pub fn run_seeds(&self, seeds: &[u64]) -> Vec<RunOutcome> {
@@ -307,13 +384,26 @@ impl GridExperiment {
         for (node, p) in &self.node_power {
             builder = builder.node_power(*node, *p);
         }
-        let topo = builder.build(&mut topo_rng);
+        let mut topo = builder.build(&mut topo_rng);
         assert!(
             topo.links
                 .reaches_all_usable(self.base, mnp_radio::loss::usable_ber_threshold()),
             "sampled topology has no usable bidirectional path to some node; \
              coverage is impossible (reseed)"
         );
+        if self.extra_loss > 0.0 {
+            // Compose the sweep's packet loss with every link's sampled
+            // BER: independent loss processes multiply their survival
+            // probabilities.
+            let q = ber_for_packet_loss(self.extra_loss);
+            for from in 0..topo.links.len() {
+                let from = NodeId::from_index(from);
+                let edges: Vec<(NodeId, f64)> = topo.links.neighbors(from).collect();
+                for (to, ber) in edges {
+                    topo.links.connect(from, to, 1.0 - (1.0 - ber) * (1.0 - q));
+                }
+            }
+        }
         let mut builder = NetworkBuilder::new(topo.links, self.seed)
             .capture(self.capture)
             .tie_break(self.tie_break)
@@ -606,6 +696,40 @@ mod tests {
     fn run_seeds_with_drives_other_protocols() {
         let outs = GridExperiment::new(3, 3, 10.0).run_seeds_with(&[5], |s| s.run_deluge(|_| {}));
         assert!(outs[0].completed);
+    }
+
+    #[test]
+    fn small_grid_coded_protocols_complete() {
+        let rlnc = GridExperiment::new(3, 3, 10.0).seed(5).run_rlnc(|_| {});
+        assert!(rlnc.completed);
+        let xor = GridExperiment::new(3, 3, 10.0).seed(5).run_xor(|_| {});
+        assert!(xor.completed);
+    }
+
+    #[test]
+    fn extra_loss_composes_and_still_completes() {
+        // 15% extra packet loss on every link: slower, but exact.
+        let clean = GridExperiment::new(3, 3, 10.0).seed(5).run_rlnc(|_| {});
+        let lossy = GridExperiment::new(3, 3, 10.0)
+            .seed(5)
+            .extra_loss(0.15)
+            .run_rlnc(|_| {});
+        assert!(lossy.completed);
+        assert!(
+            lossy.completion > clean.completion,
+            "loss must slow dissemination: clean {:?} vs lossy {:?}",
+            clean.completion,
+            lossy.completion
+        );
+    }
+
+    #[test]
+    fn ber_for_packet_loss_inverts_the_frame_convention() {
+        for p in [0.0, 0.05, 0.2, 0.5] {
+            let ber = ber_for_packet_loss(p);
+            let frame_loss = 1.0 - (1.0 - ber).powf(FRAME_BITS);
+            assert!((frame_loss - p).abs() < 1e-9, "p = {p}");
+        }
     }
 
     #[test]

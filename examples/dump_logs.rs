@@ -19,8 +19,9 @@
 //! diff -r /tmp/logs_s1 /tmp/logs_s4
 //! ```
 //!
-//! The scenarios mirror `tests/determinism.rs`: MNP and Deluge on a 4×4
-//! grid, with and without a fault plan, plus the capture-effect variant.
+//! The scenarios mirror `tests/determinism.rs`: MNP, Deluge, and the
+//! coded protocols (RLNC, XOR) on a 4×4 grid, with and without a fault
+//! plan, plus the capture-effect variant.
 
 use mnp_repro::prelude::*;
 
@@ -61,13 +62,17 @@ fn main() {
     let dir = dir.expect("usage: dump_logs OUT_DIR [--shards N]");
     std::fs::create_dir_all(&dir).expect("create output directory");
 
-    let scenarios: [(&str, u64, bool, bool); 6] = [
+    let scenarios: [(&str, u64, bool, bool); 10] = [
         ("mnp_seed77", 77, false, false),
         ("mnp_seed78", 78, false, false),
         ("mnp_seed77_faults", 77, true, false),
         ("mnp_seed77_capture", 77, false, true),
         ("deluge_seed77", 77, false, false),
         ("deluge_seed78", 78, false, false),
+        ("rlnc_seed77", 77, false, false),
+        ("rlnc_seed77_faults", 77, true, false),
+        ("xor_seed77", 77, false, false),
+        ("xor_seed77_faults", 77, true, false),
     ];
     for (name, seed, faulted, capture) in scenarios {
         let log = Shared::new(JsonlLogger::new());
@@ -81,6 +86,10 @@ fn main() {
         }
         let out = if name.starts_with("deluge") {
             scenario.run_deluge_observed(|_| {}, vec![Box::new(log.clone())])
+        } else if name.starts_with("rlnc") {
+            scenario.run_rlnc_observed(|_| {}, vec![Box::new(log.clone())])
+        } else if name.starts_with("xor") {
+            scenario.run_xor_observed(|_| {}, vec![Box::new(log.clone())])
         } else {
             scenario.run_mnp_observed(|_| {}, vec![Box::new(log.clone())])
         };

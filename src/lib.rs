@@ -23,7 +23,7 @@
 //! | Observability (events, invariants, timelines) | [`obs`] |
 //! | Metrics & figures | [`trace`] |
 //! | **MNP itself** | [`protocol`] |
-//! | Deluge/XNP/MOAP/flood | [`baselines`] |
+//! | Deluge/XNP/MOAP/flood, coded (RLNC, XOR) | [`baselines`] |
 //! | Table/figure harness | [`experiments`] |
 //!
 //! ## Quickstart
@@ -55,7 +55,8 @@ pub use mnp_trace as trace;
 pub mod prelude {
     pub use mnp::{Mnp, MnpConfig, MnpState, PacketBitmap};
     pub use mnp_baselines::{
-        Deluge, DelugeConfig, Flood, FloodConfig, Moap, MoapConfig, Xnp, XnpConfig,
+        Deluge, DelugeConfig, Flood, FloodConfig, Moap, MoapConfig, Rlnc, RlncConfig, Xnp,
+        XnpConfig, Xor, XorConfig,
     };
     pub use mnp_experiments::{GridExperiment, RunOutcome};
     pub use mnp_net::{

@@ -126,6 +126,74 @@ fn deluge_event_logs_are_also_byte_identical() {
 }
 
 #[test]
+fn coded_event_logs_are_byte_identical() {
+    // The coded protocols draw extra randomness (coefficient seeds from
+    // the node RNG) — that randomness must come from the seeded stream,
+    // never from ambient state, so same-seed replays stay byte-identical.
+    let log_rlnc = |seed: u64| {
+        let log = Shared::new(JsonlLogger::new());
+        let out = GridExperiment::new(4, 4, 10.0)
+            .segments(1)
+            .seed(seed)
+            .run_rlnc_observed(|_| {}, vec![Box::new(log.clone())]);
+        assert!(out.completed);
+        let text = log.borrow().as_str().to_owned();
+        text
+    };
+    let log_xor = |seed: u64| {
+        let log = Shared::new(JsonlLogger::new());
+        let out = GridExperiment::new(4, 4, 10.0)
+            .segments(1)
+            .seed(seed)
+            .run_xor_observed(|_| {}, vec![Box::new(log.clone())]);
+        assert!(out.completed);
+        let text = log.borrow().as_str().to_owned();
+        text
+    };
+    let a = log_rlnc(77);
+    assert!(!a.is_empty());
+    assert_eq!(a, log_rlnc(77), "same seed must replay the same RLNC log");
+    assert_ne!(a, log_rlnc(78), "different seeds should differ");
+
+    let x = log_xor(77);
+    assert!(!x.is_empty());
+    assert_eq!(x, log_xor(77), "same seed must replay the same XOR log");
+    assert_ne!(x, a, "the two coded protocols produce different schedules");
+}
+
+#[test]
+fn sharded_coded_runs_give_byte_identical_event_logs() {
+    // The sharded lockstep kernel must replay the coded protocols'
+    // sequential schedules byte for byte too — their extra RNG draws and
+    // multi-destination recoded frames cross shard boundaries.
+    let log_for = |shards: usize, xor: bool| {
+        let log = Shared::new(JsonlLogger::new());
+        let scenario = GridExperiment::new(4, 4, 10.0)
+            .segments(1)
+            .seed(77)
+            .shards(shards);
+        let out = if xor {
+            scenario.run_xor_observed(|_| {}, vec![Box::new(log.clone())])
+        } else {
+            scenario.run_rlnc_observed(|_| {}, vec![Box::new(log.clone())])
+        };
+        assert!(out.completed, "{shards}-shard run did not complete");
+        let text = log.borrow().as_str().to_owned();
+        text
+    };
+    for xor in [false, true] {
+        let name = if xor { "xor" } else { "rlnc" };
+        let seq = log_for(1, xor);
+        assert!(!seq.is_empty());
+        let sharded = log_for(4, xor);
+        assert_eq!(
+            sharded, seq,
+            "{name}: 4-shard log diverged from the sequential kernel"
+        );
+    }
+}
+
+#[test]
 fn capture_enabled_event_logs_are_byte_identical() {
     // The capture-effect branch takes a different path through the
     // medium's pooled delivery (a cleaner locked signal survives an

@@ -33,6 +33,40 @@ fn every_feature_combination_preserves_reliability() {
 }
 
 #[test]
+fn coded_protocols_preserve_reliability_on_a_lossy_multihop_grid() {
+    // The coded family rides the same spine as MNP: run both protocols
+    // under the online invariant monitor (write-once EEPROM, in-order
+    // segments) on a multihop grid with 10% extra per-link packet loss.
+    let scenario = GridExperiment::new(5, 5, 10.0)
+        .segments(2)
+        .seed(610)
+        .extra_loss(0.10)
+        .check_invariants(true);
+    let rlnc = scenario.run_rlnc(|_| {});
+    assert!(rlnc.completed, "rlnc: {rlnc}");
+    let xor = scenario.run_xor(|_| {});
+    assert!(xor.completed, "xor: {xor}");
+}
+
+#[test]
+fn coded_config_knobs_change_behaviour_without_costing_reliability() {
+    // The protocol-specific knobs (extra coded packets per request,
+    // XOR mixing degree) stay reliable at their extremes.
+    let scenario = GridExperiment::new(4, 4, 10.0)
+        .segments(1)
+        .seed(620)
+        .check_invariants(true);
+    for extra in [0, 6] {
+        let out = scenario.run_rlnc(|c| c.extra_coded = extra);
+        assert!(out.completed, "rlnc extra_coded={extra}: {out}");
+    }
+    for degree in [1, 3] {
+        let out = scenario.run_xor(|c| c.max_degree = degree);
+        assert!(out.completed, "xor max_degree={degree}: {out}");
+    }
+}
+
+#[test]
 fn smaller_segments_work_too() {
     // Non-default layout: 32-packet segments, short last packet.
     let out = GridExperiment::new(4, 4, 10.0)
