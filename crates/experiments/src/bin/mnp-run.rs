@@ -16,11 +16,13 @@
 //!        mnp-run report OLD NEW
 //!        mnp-run coded [--rows N] [--cols N] [--segments N] [--seed N]
 //!                      [--losses A,B,... (percent)] [--out PATH]
+//!        mnp-run mobility [--nodes N] [--segments N] [--seed N]
+//!                         [--speeds A,B,... (ft/s)] [--out PATH]
 //!        mnp-run chaos [--seed N] [--grid N] [--protocol mnp|rlnc|xor]
 //!                      [--crashes A,B,...] [--flaps A,B,...]
 //!                      [--storage A,B,...]
 //!        mnp-run fuzz [--runs N] [--seed N] [--policy fifo|permute]
-//!                     [--shrink-budget N] [--out PATH]
+//!                     [--mobile] [--shrink-budget N] [--out PATH]
 //!        mnp-run repro PATH
 //! ```
 //!
@@ -38,6 +40,13 @@
 //! active radio time, and message count, and writing the
 //! `CODED_cmp.json` artifact.
 //!
+//! `mnp-run mobility` runs the mobility-sweep campaign
+//! (`mnp_experiments::mobility_cmp`): MNP vs Deluge vs RLNC over a
+//! random-waypoint field at each swept node speed, writing the
+//! `MOBILITY_cmp.json` artifact. Motion is pre-materialized into a
+//! potential-edge topology plus a deterministic link-quality schedule,
+//! so runs replay byte-identically at any shard count.
+//!
 //! `mnp-run chaos` runs the transient-fault sweep: deterministic
 //! [`FaultPlan`](mnp_net::FaultPlan)s injecting crash–restarts, link
 //! flaps, and EEPROM write-fault bursts on an N×N grid, reporting
@@ -47,7 +56,8 @@
 //! must not cost coverage).
 //!
 //! `mnp-run fuzz` runs the schedule-exploration fuzz campaign
-//! (DESIGN.md §11): seeded random scenarios — grid, faults, and optionally
+//! (DESIGN.md §11): seeded random scenarios — grid or mobile topology
+//! (`--mobile` forces every draw mobile), faults, and optionally
 //! a permuted same-instant event order — checked against the oracle set
 //! (no panic, protocol invariants, liveness, reception-lock conservation,
 //! counter overflow). The first failure is shrunk to a minimal scenario
@@ -88,7 +98,9 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use mnp_experiments::{coded_cmp, fuzz, report, resilience, scale, GridExperiment, RunOutcome};
+use mnp_experiments::{
+    coded_cmp, fuzz, mobility_cmp, report, resilience, scale, GridExperiment, RunOutcome,
+};
 use mnp_net::Observer;
 use mnp_obs::{
     InvariantMonitor, JsonlLogger, MetricsRegistry, ProfileReport, Shared, TimeSeriesSampler,
@@ -215,7 +227,7 @@ impl Args {
     }
 }
 
-const USAGE: &str = "Usage: mnp-run [--rows N] [--cols N] [--spacing FT] [--segments N]\n               [--power LEVEL] [--seed N] [--seeds A,B,...]\n               [--protocol mnp|deluge|rlnc|xor]\n               [--capture] [--heatmap] [--parents]\n               [--events PATH] [--metrics PATH] [--timeline PATH]\n               [--check-invariants]\n       mnp-run scale [--seed N] [--segments N] [--out PATH]\n                     [--grids RxC[@SHARDS],...] [--shards A,B,...]\n                     [--history PATH] [--allow-dirty] [--compare]\n       mnp-run profile [--rows N] [--cols N] [--segments N] [--seed N]\n                       [--stride N] [--sample-ms MS] [--top N]\n                       [--out PATH] [--series PATH] [--timeline PATH]\n       mnp-run report OLD NEW\n       mnp-run coded [--rows N] [--cols N] [--segments N] [--seed N]\n                     [--losses A,B,... (percent)] [--out PATH]\n       mnp-run chaos [--seed N] [--grid N] [--protocol mnp|rlnc|xor]\n                     [--crashes A,B,...] [--flaps A,B,...]\n                     [--storage A,B,...]\n       mnp-run fuzz [--runs N] [--seed N] [--policy fifo|permute]\n                    [--shrink-budget N] [--out PATH]\n       mnp-run repro PATH";
+const USAGE: &str = "Usage: mnp-run [--rows N] [--cols N] [--spacing FT] [--segments N]\n               [--power LEVEL] [--seed N] [--seeds A,B,...]\n               [--protocol mnp|deluge|rlnc|xor]\n               [--capture] [--heatmap] [--parents]\n               [--events PATH] [--metrics PATH] [--timeline PATH]\n               [--check-invariants]\n       mnp-run scale [--seed N] [--segments N] [--out PATH]\n                     [--grids RxC[@SHARDS],...] [--shards A,B,...]\n                     [--history PATH] [--allow-dirty] [--compare]\n       mnp-run profile [--rows N] [--cols N] [--segments N] [--seed N]\n                       [--stride N] [--sample-ms MS] [--top N]\n                       [--out PATH] [--series PATH] [--timeline PATH]\n       mnp-run report OLD NEW\n       mnp-run coded [--rows N] [--cols N] [--segments N] [--seed N]\n                     [--losses A,B,... (percent)] [--out PATH]\n       mnp-run mobility [--nodes N] [--segments N] [--seed N]\n                        [--speeds A,B,... (ft/s)] [--out PATH]\n       mnp-run chaos [--seed N] [--grid N] [--protocol mnp|rlnc|xor]\n                     [--crashes A,B,...] [--flaps A,B,...]\n                     [--storage A,B,...]\n       mnp-run fuzz [--runs N] [--seed N] [--policy fifo|permute]\n                    [--mobile] [--shrink-budget N] [--out PATH]\n       mnp-run repro PATH";
 
 fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String>
 where
@@ -254,6 +266,15 @@ fn main() -> ExitCode {
     }
     if std::env::args().nth(1).as_deref() == Some("coded") {
         return match run_coded(std::env::args().skip(2)) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if std::env::args().nth(1).as_deref() == Some("mobility") {
+        return match run_mobility(std::env::args().skip(2)) {
             Ok(code) => code,
             Err(msg) => {
                 eprintln!("{msg}");
@@ -690,9 +711,11 @@ fn run_coded(mut it: impl Iterator<Item = String>) -> Result<ExitCode, String> {
         return Err("--losses needs at least one rate".into());
     }
     // Loss rates arrive in percent (10 = 10%) for CLI ergonomics.
+    // 100% is legal: the degenerate all-links-dead endpoint of a sweep
+    // (the run builds and misses the deadline instead of panicking).
     let fractions: Vec<f64> = losses.iter().map(|&p| p / 100.0).collect();
-    if fractions.iter().any(|&p| !(0.0..1.0).contains(&p)) {
-        return Err("--losses entries must be percentages in [0, 100)".into());
+    if fractions.iter().any(|&p| !(0.0..=1.0).contains(&p)) {
+        return Err("--losses entries must be percentages in [0, 100]".into());
     }
     let cmp = coded_cmp::run_with(rows, cols, segments, seed, &fractions);
     print!("{cmp}");
@@ -704,6 +727,56 @@ fn run_coded(mut it: impl Iterator<Item = String>) -> Result<ExitCode, String> {
         ExitCode::SUCCESS
     } else {
         eprintln!("some protocol missed the deadline at some loss rate");
+        ExitCode::FAILURE
+    })
+}
+
+/// `mnp-run mobility`: the mobility-sweep comparison campaign (MNP vs
+/// Deluge vs RLNC across random-waypoint speeds) behind
+/// `MOBILITY_cmp.json`.
+fn run_mobility(mut it: impl Iterator<Item = String>) -> Result<ExitCode, String> {
+    let mut nodes = 16usize;
+    let mut segments = 1u16;
+    let mut seed = 42u64;
+    let mut speeds: Vec<f64> = vec![0.0, 1.0, 2.0];
+    let mut out_path = String::from("MOBILITY_cmp.json");
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--nodes" => nodes = parse(&value("--nodes")?)?,
+            "--segments" => segments = parse(&value("--segments")?)?,
+            "--seed" => seed = parse(&value("--seed")?)?,
+            "--speeds" => {
+                speeds = value("--speeds")?
+                    .split(',')
+                    .filter(|part| !part.is_empty())
+                    .map(parse)
+                    .collect::<Result<_, _>>()?;
+            }
+            "--out" => out_path = value("--out")?,
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    if nodes == 0 {
+        return Err("--nodes must be positive".into());
+    }
+    if speeds.is_empty() {
+        return Err("--speeds needs at least one speed".into());
+    }
+    if speeds.iter().any(|&v| !v.is_finite() || v < 0.0) {
+        return Err("--speeds entries must be non-negative ft/s".into());
+    }
+    let cmp = mobility_cmp::run_with(nodes, segments, seed, &speeds);
+    print!("{cmp}");
+    std::fs::write(&out_path, cmp.render_json())
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!("wrote {out_path}");
+    let all_completed = cmp.points.iter().flat_map(|p| &p.rows).all(|r| r.completed);
+    Ok(if all_completed {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("some protocol missed the deadline at some speed");
         ExitCode::FAILURE
     })
 }
@@ -772,6 +845,7 @@ fn run_fuzz(mut it: impl Iterator<Item = String>) -> Result<ExitCode, String> {
                 }
             }
             "--shrink-budget" => cfg.shrink_budget = parse(&value("--shrink-budget")?)?,
+            "--mobile" => cfg.mobile = true,
             "--out" => out_path = value("--out")?,
             "--help" | "-h" => return Err(USAGE.into()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
@@ -784,10 +858,11 @@ fn run_fuzz(mut it: impl Iterator<Item = String>) -> Result<ExitCode, String> {
         );
     }
     println!(
-        "fuzz: {} runs, stream seed {}, policy {}",
+        "fuzz: {} runs, stream seed {}, policy {}{}",
         cfg.runs,
         cfg.fuzz_seed,
-        if cfg.permute { "permute" } else { "fifo" }
+        if cfg.permute { "permute" } else { "fifo" },
+        if cfg.mobile { ", all mobile" } else { "" }
     );
 
     // `run_scenario` turns panics into verdicts; silence the default hook

@@ -7,7 +7,8 @@
 //! never executed. This module explores that family deterministically:
 //!
 //! 1. **Generate** — [`generate`] draws a protocol under test (MNP or the
-//!    coded family, [`FuzzProtocol`]), a grid topology, protocol sizing,
+//!    coded family, [`FuzzProtocol`]), a grid or mobile topology (roughly
+//!    one scenario in three moves, [`MobilitySpec`]), protocol sizing,
 //!    and a transient-fault plan from a fuzz seed (crash–restarts, link
 //!    flaps, EEPROM write faults; never fail-stop kills, so the liveness
 //!    oracle below is sound). RLNC runs add a decode-rank oracle: the
@@ -35,12 +36,14 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use mnp::{Mnp, MnpConfig, MnpStats};
 use mnp_baselines::{Rlnc, RlncConfig, Xor, XorConfig};
-use mnp_net::{FaultPlan, Network, NetworkBuilder, Protocol};
+use mnp_net::{FaultPlan, LinkChange, Network, NetworkBuilder, Protocol};
 use mnp_obs::{InvariantMonitor, Observer, Shared};
-use mnp_radio::{MediumStats, NodeId, PowerLevel};
+use mnp_radio::{LinkTable, MediumStats, NodeId, PowerLevel};
 use mnp_sim::{SimDuration, SimRng, SimTime, TieBreak};
 use mnp_storage::{ImageLayout, ProgramId, ProgramImage};
 use mnp_topology::{GridSpec, TopologyBuilder};
+
+use crate::mobility::{FieldLayout, MobileExperiment};
 
 /// One planned transient fault of a fuzz scenario.
 ///
@@ -122,6 +125,79 @@ impl FuzzProtocol {
     }
 }
 
+/// Initial placement family of a mobile fuzz scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FuzzLayout {
+    /// Uniform over a square field.
+    Uniform,
+    /// Blue-noise spacing.
+    Poisson,
+    /// Clustered patches.
+    Clustered,
+    /// A long thin strip (multihop stress).
+    Corridor,
+}
+
+impl FuzzLayout {
+    /// Stable lowercase name used in `repro.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            FuzzLayout::Uniform => "uniform",
+            FuzzLayout::Poisson => "poisson",
+            FuzzLayout::Clustered => "clustered",
+            FuzzLayout::Corridor => "corridor",
+        }
+    }
+
+    /// Parses a [`FuzzLayout::name`] back.
+    pub fn from_name(s: &str) -> Option<FuzzLayout> {
+        Some(match s {
+            "uniform" => FuzzLayout::Uniform,
+            "poisson" => FuzzLayout::Poisson,
+            "clustered" => FuzzLayout::Clustered,
+            "corridor" => FuzzLayout::Corridor,
+            _ => return None,
+        })
+    }
+}
+
+/// Motion of a mobile fuzz scenario: the node count comes from
+/// `rows × cols` and the topology from [`MobileExperiment`] instead of a
+/// grid. Speed is integer tenths of a ft/s so scenarios stay `Eq` and the
+/// repro JSON stays a flat integer format.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MobilitySpec {
+    /// Initial placement family.
+    pub layout: FuzzLayout,
+    /// Random-waypoint speed, tenths of a foot per second.
+    pub speed_tenths: u32,
+}
+
+/// The mobile experiment a scenario's topology and link schedule come
+/// from — shared by generation (viability probing) and replay.
+fn mobile_experiment(
+    nodes: usize,
+    m: MobilitySpec,
+    seed: u64,
+    deadline: SimTime,
+) -> MobileExperiment {
+    let exp = MobileExperiment::new(nodes)
+        .seed(seed)
+        .deadline(deadline)
+        .speed(f64::from(m.speed_tenths) / 10.0);
+    match m.layout {
+        FuzzLayout::Uniform => exp,
+        FuzzLayout::Poisson => exp.layout(FieldLayout::Poisson { min_dist_ft: 6.0 }),
+        FuzzLayout::Clustered => exp.layout(FieldLayout::Clustered {
+            clusters: 3,
+            spread_ft: 12.0,
+        }),
+        FuzzLayout::Corridor => exp
+            .field(nodes as f64 * 8.0, 20.0)
+            .layout(FieldLayout::Corridor { width_ft: 20.0 }),
+    }
+}
+
 /// A complete, self-describing fuzz scenario: everything needed to replay
 /// one run byte-for-byte.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -145,6 +221,11 @@ pub struct FuzzScenario {
     /// any value — fuzzing it exercises the sharded lockstep merge under
     /// schedules (permuted tie-breaks, faults) the unit tests never draw.
     pub shards: usize,
+    /// `Some` makes this a mobile scenario: `rows × cols` nodes in an
+    /// irregular moving field instead of a static grid; link flaps then
+    /// draw from the potential-edge set (pairs that ever come within
+    /// range), so a flap may name an edge that is disconnected at `t = 0`.
+    pub mobility: Option<MobilitySpec>,
     /// Transient faults injected into the run.
     pub faults: Vec<FaultSpec>,
 }
@@ -160,6 +241,42 @@ impl FuzzScenario {
             Some(s) => TieBreak::SeededPermutation(s),
             None => TieBreak::Fifo,
         }
+    }
+
+    /// The links (and, for mobile scenarios, the motion-induced link
+    /// schedule) this scenario runs over. `Err` means the sampled
+    /// topology cannot reach every node at `t = 0` — the scenario is
+    /// invalid, not failing.
+    fn topology(&self) -> Result<(LinkTable, Vec<LinkChange>), String> {
+        let (links, schedule) = match self.mobility {
+            Some(m) => {
+                let mob = mobile_experiment(self.rows * self.cols, m, self.seed, self.deadline)
+                    .mobile_topology();
+                let schedule = mob
+                    .updates
+                    .iter()
+                    .map(|u| LinkChange {
+                        at: u.at,
+                        from: u.from,
+                        to: u.to,
+                        ber: u.ber,
+                    })
+                    .collect();
+                (mob.topology.links, schedule)
+            }
+            None => {
+                let grid = GridSpec::new(self.rows, self.cols, FUZZ_SPACING_FT);
+                let mut topo_rng = SimRng::new(self.seed).derive(0xdeadbeef);
+                let topo = TopologyBuilder::new(grid.placement())
+                    .power(PowerLevel::FULL)
+                    .build(&mut topo_rng);
+                (topo.links, Vec::new())
+            }
+        };
+        if !links.reaches_all_usable(NodeId(0), mnp_radio::loss::usable_ber_threshold()) {
+            return Err("sampled topology does not reach every node".into());
+        }
+        Ok((links, schedule))
     }
 
     /// The scenario's fault plan.
@@ -203,7 +320,16 @@ impl fmt::Display for FuzzScenario {
             self.shards,
             self.faults.len(),
             self.deadline.as_secs_f64(),
-        )
+        )?;
+        if let Some(m) = self.mobility {
+            write!(
+                f,
+                ", mobile({}, {:.1} ft/s)",
+                m.layout.name(),
+                f64::from(m.speed_tenths) / 10.0
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -402,21 +528,12 @@ fn build_and_run<P: Protocol>(
     monitor: Box<dyn Observer + Send>,
     make: impl FnMut(NodeId, &mut SimRng) -> P,
 ) -> Result<(Network<P>, bool), String> {
-    let grid = GridSpec::new(sc.rows, sc.cols, FUZZ_SPACING_FT);
-    let mut topo_rng = SimRng::new(sc.seed).derive(0xdeadbeef);
-    let topo = TopologyBuilder::new(grid.placement())
-        .power(PowerLevel::FULL)
-        .build(&mut topo_rng);
-    if !topo
-        .links
-        .reaches_all_usable(NodeId(0), mnp_radio::loss::usable_ber_threshold())
-    {
-        return Err("sampled topology does not reach every node".into());
-    }
-    let mut net = NetworkBuilder::new(topo.links, sc.seed)
+    let (links, schedule) = sc.topology()?;
+    let mut net = NetworkBuilder::new(links, sc.seed)
         .tie_break(sc.tie_break())
         .faults(sc.fault_plan())
         .shards(sc.shards)
+        .link_schedule(schedule)
         .observer(monitor)
         .try_build(make)
         .map_err(|e| e.to_string())?;
@@ -558,6 +675,20 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// crash and storage faults — restarting the only holder of the image is
 /// a liveness question of its own, probed separately.
 pub fn generate(fuzz_seed: u64, index: u64, permute: bool) -> FuzzScenario {
+    generate_with(fuzz_seed, index, permute, false)
+}
+
+/// [`generate`], with mobile scenarios either forced (`force_mobile`) or
+/// drawn roughly every third index. Mobile draws pick a placement family
+/// and a waypoint speed in 0.5–2.0 ft/s; their link flaps come from the
+/// potential-edge set, so a flap may target an edge that only exists
+/// mid-run.
+pub fn generate_with(
+    fuzz_seed: u64,
+    index: u64,
+    permute: bool,
+    force_mobile: bool,
+) -> FuzzScenario {
     let mut rng = SimRng::new(fuzz_seed).derive(index);
     let protocol = match rng.index(3) {
         0 => FuzzProtocol::Mnp,
@@ -570,26 +701,43 @@ pub fn generate(fuzz_seed: u64, index: u64, permute: bool) -> FuzzScenario {
     // 1 = the sequential kernel; >1 exercises the sharded lockstep merge,
     // which must replay the sequential schedule byte for byte.
     let shards = 1 + rng.index(4);
+    let deadline = SimTime::from_secs(4 * 3_600);
+    let mobility = (force_mobile || rng.chance(1.0 / 3.0)).then(|| MobilitySpec {
+        layout: match rng.index(4) {
+            0 => FuzzLayout::Uniform,
+            1 => FuzzLayout::Poisson,
+            2 => FuzzLayout::Clustered,
+            _ => FuzzLayout::Corridor,
+        },
+        speed_tenths: 5 + rng.index(16) as u32,
+    });
     // Redraw the experiment seed until the sampled topology is viable
-    // (full power at 10 ft almost always is; the bound is a formality).
+    // (full power almost always is; the bound is a formality). For mobile
+    // scenarios viability means reachable at t = 0 over the potential-edge
+    // set, and the kept links table *is* that potential set — so the fault
+    // edges drawn below may name pairs disconnected until nodes move.
     let mut seed = rng.next_u64();
-    let grid = GridSpec::new(rows, cols, FUZZ_SPACING_FT);
     let mut links = None;
     for _ in 0..32 {
-        let mut topo_rng = SimRng::new(seed).derive(0xdeadbeef);
-        let topo = TopologyBuilder::new(grid.placement())
-            .power(PowerLevel::FULL)
-            .build(&mut topo_rng);
-        if topo
-            .links
-            .reaches_all_usable(NodeId(0), mnp_radio::loss::usable_ber_threshold())
-        {
-            links = Some(topo.links);
+        let probe = FuzzScenario {
+            protocol,
+            rows,
+            cols,
+            segments,
+            seed,
+            tie_seed: None,
+            deadline,
+            shards,
+            mobility,
+            faults: Vec::new(),
+        };
+        if let Ok((l, _)) = probe.topology() {
+            links = Some(l);
             break;
         }
         seed = rng.next_u64();
     }
-    let links = links.expect("no viable topology in 32 draws (full power, 10 ft)");
+    let links = links.expect("no viable topology in 32 draws (full power)");
 
     let n = rows * cols;
     let edges: Vec<(u32, u32)> = (0..n)
@@ -630,15 +778,17 @@ pub fn generate(fuzz_seed: u64, index: u64, permute: bool) -> FuzzScenario {
         segments,
         seed,
         tie_seed: permute.then(|| rng.next_u64()),
-        deadline: SimTime::from_secs(4 * 3_600),
+        deadline,
         shards,
+        mobility,
         faults,
     }
 }
 
 /// Greedily minimises a failing scenario.
 ///
-/// Tries, in order: dropping each fault, shrinking rows and columns,
+/// Tries, in order: replacing a mobile field with the static grid,
+/// dropping each fault, shrinking rows and columns,
 /// dropping a segment, halving the deadline (skipped for
 /// [`FailureKind::Liveness`], which any short deadline fails vacuously),
 /// and replacing the permutation seed with small values. A candidate is
@@ -668,6 +818,14 @@ pub fn shrink(
     };
     loop {
         let mut improved = false;
+        // A static-grid repro is simpler than a mobile one. The candidate
+        // may come back Invalid (a fault named a potential-only edge the
+        // grid lacks) — that is rejected like any other.
+        if best.mobility.is_some() {
+            let mut cand = best.clone();
+            cand.mobility = None;
+            improved |= try_accept(cand, &mut best, &mut spent);
+        }
         // Drop faults, largest index first so removal indices stay valid.
         for i in (0..best.faults.len()).rev() {
             let mut cand = best.clone();
@@ -745,6 +903,13 @@ pub fn emit_repro(sc: &FuzzScenario, failure: &FuzzFailure) -> String {
         sc.deadline.as_micros()
     ));
     out.push_str(&format!("  \"shards\": {},\n", sc.shards));
+    if let Some(m) = sc.mobility {
+        out.push_str(&format!(
+            "  \"mobility\": {{\"layout\": \"{}\", \"speed_tenths\": {}}},\n",
+            m.layout.name(),
+            m.speed_tenths
+        ));
+    }
     out.push_str("  \"faults\": [");
     for (i, f) in sc.faults.iter().enumerate() {
         out.push_str(if i == 0 { "\n" } else { ",\n" });
@@ -982,7 +1147,8 @@ impl<'a> Parser<'a> {
 ///
 /// Field policy: *absent* optional fields take their legacy defaults
 /// (`tie_seed` → FIFO, `shards` → 1 for pre-sharding repros, `protocol` →
-/// `"mnp"` for pre-coding repros), but a field that is *present with the
+/// `"mnp"` for pre-coding repros, `mobility` → static grid for
+/// pre-mobility repros), but a field that is *present with the
 /// wrong type* is a hard error — a repro whose `"shards": "four"` silently
 /// replayed sequentially would "reproduce" a different schedule than the
 /// one that failed.
@@ -1062,6 +1228,31 @@ pub fn parse_repro(text: &str) -> Result<(FuzzScenario, Option<FailureKind>), St
                 .ok_or_else(|| format!("unknown protocol {name:?} (mnp|rlnc|xor)"))?
         }
     };
+    let mobility = match root.field("mobility") {
+        // Absent in pre-mobility repros: those all ran static grids.
+        None => None,
+        Some(m) => {
+            let layout_name = m
+                .field("layout")
+                .ok_or("mobility object missing \"layout\"")?
+                .str()
+                .ok_or("mobility field \"layout\" is present but not a string")?;
+            let layout = FuzzLayout::from_name(layout_name).ok_or_else(|| {
+                format!(
+                    "unknown mobility layout {layout_name:?} (uniform|poisson|clustered|corridor)"
+                )
+            })?;
+            let speed_tenths = m
+                .field("speed_tenths")
+                .ok_or("mobility object missing \"speed_tenths\"")?
+                .num()
+                .ok_or("mobility field \"speed_tenths\" is present but not an integer")?;
+            Some(MobilitySpec {
+                layout,
+                speed_tenths: speed_tenths as u32,
+            })
+        }
+    };
     Ok((
         FuzzScenario {
             protocol,
@@ -1073,6 +1264,7 @@ pub fn parse_repro(text: &str) -> Result<(FuzzScenario, Option<FailureKind>), St
             deadline: SimTime::from_micros(get("deadline_us")?),
             // Absent in pre-sharding repros: those ran sequentially.
             shards: opt("shards")?.unwrap_or(1) as usize,
+            mobility,
             faults,
         },
         recorded,
@@ -1092,6 +1284,8 @@ pub struct FuzzConfig {
     pub fuzz_seed: u64,
     /// Run under the seeded-permutation tie-break (otherwise FIFO).
     pub permute: bool,
+    /// Force every scenario mobile (otherwise roughly one in three is).
+    pub mobile: bool,
     /// Check-call budget of the shrinking pass.
     pub shrink_budget: u32,
 }
@@ -1102,6 +1296,7 @@ impl Default for FuzzConfig {
             runs: 20,
             fuzz_seed: 1,
             permute: false,
+            mobile: false,
             shrink_budget: 64,
         }
     }
@@ -1132,7 +1327,7 @@ pub fn fuzz(
     mut progress: impl FnMut(u64, &FuzzScenario, &Verdict),
 ) -> Result<u64, Box<FuzzReport>> {
     for i in 0..cfg.runs {
-        let sc = generate(cfg.fuzz_seed, i, cfg.permute);
+        let sc = generate_with(cfg.fuzz_seed, i, cfg.permute, cfg.mobile);
         let verdict = run_scenario(&sc);
         progress(i, &sc, &verdict);
         if let Verdict::Fail(failure) = verdict {
@@ -1168,6 +1363,7 @@ mod tests {
             tie_seed: Some(9),
             deadline: SimTime::from_secs(1234),
             shards: 3,
+            mobility: None,
             faults: vec![
                 FaultSpec::CrashRestart {
                     node: 3,
@@ -1288,18 +1484,11 @@ mod tests {
         let c = generate(42, 4, true);
         assert_ne!(a, c, "the stream varies by index");
         // Generated scenarios are valid by construction: every fault
-        // names a live node / real edge.
+        // names a live node / real (or potential) edge of the scenario's
+        // own topology.
+        let (links, _) = a.topology().expect("generated topology is viable");
         assert!(
-            a.fault_plan()
-                .validate(&{
-                    let grid = GridSpec::new(a.rows, a.cols, FUZZ_SPACING_FT);
-                    let mut rng = SimRng::new(a.seed).derive(0xdeadbeef);
-                    TopologyBuilder::new(grid.placement())
-                        .power(PowerLevel::FULL)
-                        .build(&mut rng)
-                        .links
-                })
-                .is_ok(),
+            a.fault_plan().validate(&links).is_ok(),
             "generated faults validate against the sampled topology"
         );
     }
@@ -1315,6 +1504,7 @@ mod tests {
             tie_seed: None,
             deadline: SimTime::from_secs(4 * 3_600),
             shards: 1,
+            mobility: None,
             faults: Vec::new(),
         };
         assert_eq!(run_scenario(&sc), Verdict::Pass);
@@ -1341,6 +1531,7 @@ mod tests {
                 tie_seed: Some(11),
                 deadline: SimTime::from_secs(4 * 3_600),
                 shards: 1,
+                mobility: None,
                 faults: vec![FaultSpec::StorageFaults {
                     node: 4,
                     at: SimTime::from_secs(10),
@@ -1383,6 +1574,7 @@ mod tests {
             tie_seed: None,
             deadline: SimTime::from_secs(600),
             shards: 1,
+            mobility: None,
             faults: vec![FaultSpec::CrashRestart {
                 node: 99, // a 3x3 grid has nodes 0..9
                 at: SimTime::from_secs(100),
@@ -1459,6 +1651,93 @@ mod tests {
         });
         assert_eq!(calls, 2);
         assert_eq!(spent, 2);
+    }
+
+    #[test]
+    fn repro_json_roundtrips_mobile_scenarios() {
+        let sc = FuzzScenario {
+            mobility: Some(MobilitySpec {
+                layout: FuzzLayout::Clustered,
+                speed_tenths: 12,
+            }),
+            ..sample_scenario()
+        };
+        let failure = FuzzFailure {
+            kind: FailureKind::Liveness,
+            message: "x".into(),
+        };
+        let json = emit_repro(&sc, &failure);
+        assert!(json.contains("\"layout\": \"clustered\""), "{json}");
+        let (parsed, _) = parse_repro(&json).unwrap();
+        assert_eq!(parsed, sc);
+    }
+
+    #[test]
+    fn malformed_mobility_fields_are_hard_errors() {
+        let base = |mobility: &str| {
+            format!(
+                r#"{{"version": 1, "rows": 3, "cols": 3, "segments": 1,
+                     "seed": 5, "deadline_us": 600000000, "faults": [],
+                     "mobility": {mobility}}}"#
+            )
+        };
+        for (mobility, needle) in [
+            (r#"{"layout": "warp", "speed_tenths": 5}"#, "warp"),
+            (
+                r#"{"layout": "uniform", "speed_tenths": "fast"}"#,
+                "speed_tenths",
+            ),
+            (r#"{"speed_tenths": 5}"#, "layout"),
+            (r#"{"layout": 3, "speed_tenths": 5}"#, "layout"),
+        ] {
+            let err = parse_repro(&base(mobility)).expect_err(mobility);
+            assert!(err.contains(needle), "{mobility}: {err}");
+        }
+    }
+
+    #[test]
+    fn mobile_scenario_passes_all_oracles() {
+        // Mirrors `mobility::tests`: 9 nodes at 2 ft/s complete well
+        // inside the 4 h deadline, here through the full oracle set and
+        // the motion-driven link schedule.
+        let sc = FuzzScenario {
+            protocol: FuzzProtocol::Mnp,
+            rows: 3,
+            cols: 3,
+            segments: 1,
+            seed: 2,
+            tie_seed: None,
+            deadline: SimTime::from_secs(4 * 3_600),
+            shards: 1,
+            mobility: Some(MobilitySpec {
+                layout: FuzzLayout::Uniform,
+                speed_tenths: 20,
+            }),
+            faults: Vec::new(),
+        };
+        assert_eq!(run_scenario(&sc), Verdict::Pass);
+    }
+
+    #[test]
+    fn generation_draws_both_static_and_mobile_scenarios() {
+        let (mut still, mut moving) = (false, false);
+        for i in 0..64 {
+            match generate(13, i, false).mobility {
+                None => still = true,
+                Some(m) => {
+                    moving = true;
+                    assert!((5..=20).contains(&m.speed_tenths), "{m:?}");
+                }
+            }
+            if still && moving {
+                break;
+            }
+        }
+        assert!(still && moving, "64 draws never mixed static and mobile");
+        // Forcing mobile pins every draw.
+        for i in 0..8 {
+            assert!(generate_with(13, i, false, true).mobility.is_some());
+        }
     }
 
     #[test]

@@ -22,6 +22,8 @@
 //! | [`battery`] | §6 — battery-aware sender selection extension |
 //! | [`subsets`] | §6 — subset (targeted) dissemination extension |
 //! | [`resilience`] | §3.3 — fail-stop resilience + chaos (crash–restart, link-flap) sweeps |
+//! | [`mobility`] | dynamic topologies — mobile/irregular scenarios with churn |
+//! | [`mobility_cmp`] | mobility sweep — MNP vs Deluge vs RLNC (`mnp-run mobility`) |
 //! | [`capture`] | X4 — capture-effect sensitivity of the radio model |
 //! | [`ablation`] | DESIGN.md A1–A4 — design-choice ablations |
 //! | [`scale`] | simulator scale benchmark (`mnp-run scale`, BENCH_scale.json) |
@@ -45,6 +47,8 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fuzz;
+pub mod mobility;
+pub mod mobility_cmp;
 pub mod report;
 pub mod resilience;
 pub mod runner;
@@ -52,4 +56,5 @@ pub mod scale;
 pub mod subsets;
 pub mod table1;
 
+pub use mobility::{FieldLayout, MobileExperiment};
 pub use runner::{GridExperiment, RunOutcome};

@@ -48,9 +48,11 @@ pub struct GridExperiment {
 const FRAME_BITS: f64 = 376.0;
 
 /// The per-bit error rate at which a full frame is lost with probability
-/// `p` — the inverse of `1 - (1 - ber)^376`.
+/// `p` — the inverse of `1 - (1 - ber)^376`. `p = 1.0` is allowed and
+/// yields BER 1.0: a link that drops everything (the degenerate end of a
+/// loss sweep), not a programming error.
 fn ber_for_packet_loss(p: f64) -> f64 {
-    assert!((0.0..1.0).contains(&p), "loss probability out of [0, 1)");
+    assert!((0.0..=1.0).contains(&p), "loss probability out of [0, 1]");
     1.0 - (1.0 - p).powf(1.0 / FRAME_BITS)
 }
 
@@ -77,13 +79,15 @@ impl GridExperiment {
         }
     }
 
-    /// Adds an independent per-packet loss probability `p` (0 ≤ p < 1)
+    /// Adds an independent per-packet loss probability `p` (0 ≤ p ≤ 1)
     /// on every sampled link — the loss-sweep axis of the comparison
     /// campaign. The extra loss composes with each link's distance-based
     /// BER *after* the connectivity check, so the sweep degrades a
     /// topology that is viable at `p = 0` instead of rejecting it.
+    /// `p = 1.0` blacks every link out: the run builds and times out
+    /// rather than panicking.
     pub fn extra_loss(mut self, p: f64) -> Self {
-        assert!((0.0..1.0).contains(&p), "loss probability out of [0, 1)");
+        assert!((0.0..=1.0).contains(&p), "loss probability out of [0, 1]");
         self.extra_loss = p;
         self
     }
@@ -456,7 +460,11 @@ pub struct RunOutcome {
 }
 
 impl RunOutcome {
-    fn collect<P: Protocol>(net: &mut Network<P>, grid: GridSpec, completed: bool) -> Self {
+    pub(crate) fn collect<P: Protocol>(
+        net: &mut Network<P>,
+        grid: GridSpec,
+        completed: bool,
+    ) -> Self {
         let completion = net.trace().completion_time().unwrap_or_else(|| net.now());
         net.finalize_meters(completion);
         let n = net.len();
@@ -730,6 +738,19 @@ mod tests {
             let frame_loss = 1.0 - (1.0 - ber).powf(FRAME_BITS);
             assert!((frame_loss - p).abs() < 1e-9, "p = {p}");
         }
+    }
+
+    #[test]
+    fn total_loss_is_a_valid_sweep_endpoint() {
+        // p = 1.0 must map to BER 1.0, not panic: `--loss 100` is the
+        // degenerate end of a sweep, and the run times out cleanly.
+        assert_eq!(ber_for_packet_loss(1.0), 1.0);
+        let out = GridExperiment::new(2, 2, 10.0)
+            .seed(3)
+            .extra_loss(1.0)
+            .deadline(SimTime::from_secs(120))
+            .run_mnp(|_| {});
+        assert!(!out.completed, "nothing can disseminate over dead links");
     }
 
     #[test]

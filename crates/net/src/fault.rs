@@ -30,7 +30,12 @@ pub enum FaultPlanError {
         /// Number of nodes the graph actually has.
         nodes: usize,
     },
-    /// A link flap names a directed edge the graph does not contain.
+    /// A link flap names a directed edge the graph does not contain —
+    /// not even as a *potential* edge. Mobile topologies materialize
+    /// every pair that ever comes within audible range over the motion
+    /// envelope (disconnected spans held at BER 1.0), and flaps on those
+    /// potential edges validate fine; this error means the pair is truly
+    /// impossible — never within range at any point of the run.
     MissingEdge {
         /// Transmitting end of the named edge.
         from: NodeId,
@@ -180,6 +185,13 @@ impl FaultPlan {
     /// range, and flapped edges must exist. The network builder runs this
     /// up front, before any fault is expanded into queue events, so a bad
     /// plan is rejected whole instead of panicking mid-build.
+    ///
+    /// `links` is the graph the network will actually run on. For a
+    /// mobile topology that is the *potential-edge set* — pairs that are
+    /// out of range right now but come within range later exist at BER
+    /// 1.0 — so churn and mobility plans validate against everything the
+    /// run can ever connect, and [`FaultPlanError::MissingEdge`] is
+    /// reserved for truly impossible pairs.
     pub fn validate(&self, links: &LinkTable) -> Result<(), FaultPlanError> {
         let nodes = links.len();
         let check_node = |node: NodeId| {
@@ -460,6 +472,23 @@ mod tests {
             }
         );
         assert!(err.to_string().contains("missing edge"), "{err}");
+    }
+
+    #[test]
+    fn validate_accepts_flaps_on_disconnected_potential_edges() {
+        // A mobile topology keeps future edges in the graph at BER 1.0;
+        // a flap on one must validate even though the pair cannot hear
+        // each other at t = 0.
+        let mut links = ring(4);
+        links.connect(NodeId(0), NodeId(2), 1.0);
+        let plan = FaultPlan::seeded(1).link_flap(
+            NodeId(0),
+            NodeId(2),
+            SimTime::from_secs(1),
+            SimDuration::from_secs(1),
+            1.0,
+        );
+        assert_eq!(plan.validate(&links), Ok(()));
     }
 
     #[test]

@@ -70,7 +70,7 @@ mod shard;
 
 pub use context::Context;
 pub use fault::{FaultPlan, FaultPlanError, PlannedFault};
-pub use network::{Network, NetworkBuilder};
+pub use network::{LinkChange, Network, NetworkBuilder};
 pub use protocol::{EepromOps, Protocol, WireMsg};
 
 // Re-exported so protocol crates can implement `WireMsg::detail`, derive

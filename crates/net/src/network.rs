@@ -13,7 +13,7 @@
 //! module docs of [`crate::shard`] for why the window width makes that
 //! merge exact.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::{Barrier, Mutex};
 
 use mnp_obs::{EventKind, ObsEvent, Observer, Shared, TimeSeriesSampler};
@@ -27,7 +27,31 @@ use mnp_trace::RunTrace;
 use crate::fault::{FaultPlan, FaultPlanError, PlannedFault};
 use crate::nodes::NodeArena;
 use crate::protocol::Protocol;
-use crate::shard::{Boundary, Chunk, Event, Outbound, SetLinkEvent, Shard};
+use crate::shard::{Boundary, Chunk, Event, LinkEventKind, Outbound, SetLinkEvent, Shard};
+
+/// One scheduled base-quality change of a directed link: at `at`, the
+/// edge `from -> to` takes bit-error rate `ber`.
+///
+/// A link schedule is how mobility reaches the kernel: node motion is
+/// resolved into per-edge BER changes before the run starts (see
+/// `mnp-topology`'s mobility module) and attached through
+/// [`NetworkBuilder::link_schedule`]. Every named edge must exist in the
+/// builder's link graph — a mobile topology pre-materializes its
+/// *potential-edge set* (every pair that ever comes within audible range
+/// over the motion envelope, held at BER 1.0 while disconnected)
+/// precisely so that every future change lands on a known edge and the
+/// frozen CSR link storage never has to grow mid-run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkChange {
+    /// When the change applies.
+    pub at: SimTime,
+    /// Transmitting end of the changed edge.
+    pub from: NodeId,
+    /// Receiving end of the changed edge.
+    pub to: NodeId,
+    /// The new base bit-error rate (1.0 = out of range).
+    pub ber: f64,
+}
 
 /// Configures and constructs a [`Network`].
 ///
@@ -43,6 +67,7 @@ pub struct NetworkBuilder {
     tie_break: TieBreak,
     observers: Vec<Box<dyn Observer + Send>>,
     faults: Option<FaultPlan>,
+    link_schedule: Vec<LinkChange>,
     sampler: Option<Shared<TimeSeriesSampler>>,
     shards: usize,
 }
@@ -58,6 +83,7 @@ impl NetworkBuilder {
             tie_break: TieBreak::Fifo,
             observers: Vec::new(),
             faults: None,
+            link_schedule: Vec::new(),
             sampler: None,
             shards: 1,
         }
@@ -85,6 +111,23 @@ impl NetworkBuilder {
     /// [`NetworkBuilder::build`] panics with the same message.
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Attaches a link schedule: deterministic base-quality changes of
+    /// existing edges, expanded into replicated owner-keyed queue events
+    /// at build time exactly like link-flap faults — so a mobile run
+    /// replays byte-for-byte under the same seed and schedule, at any
+    /// shard count.
+    ///
+    /// Changes compose with [`FaultPlan`] link flaps: a scheduled change
+    /// while a flap holds the edge updates the rate the flap will
+    /// eventually restore to, without disturbing the fault. Called more
+    /// than once, schedules accumulate. Validated with the fault plan at
+    /// build time: unknown nodes and edges outside the (potential) link
+    /// set are rejected with a typed [`FaultPlanError`].
+    pub fn link_schedule(mut self, schedule: Vec<LinkChange>) -> Self {
+        self.link_schedule.extend(schedule);
         self
     }
 
@@ -164,6 +207,22 @@ impl NetworkBuilder {
         if let Some(plan) = &self.faults {
             plan.validate(&self.links)?;
         }
+        for c in &self.link_schedule {
+            for node in [c.from, c.to] {
+                if node.index() >= self.links.len() {
+                    return Err(FaultPlanError::UnknownNode {
+                        node,
+                        nodes: self.links.len(),
+                    });
+                }
+            }
+            if self.links.ber(c.from, c.to).is_none() {
+                return Err(FaultPlanError::MissingEdge {
+                    from: c.from,
+                    to: c.to,
+                });
+            }
+        }
         let n = self.links.len();
         // At most one shard per node, at most 64 (destination masks are
         // one u64 bit per shard).
@@ -197,7 +256,7 @@ impl NetworkBuilder {
                 Event::Start(node),
             );
         }
-        if let Some(plan) = &self.faults {
+        {
             let _span = profile::span(Phase::FaultExpand);
             let push = |at: SimTime,
                         owner: NodeId,
@@ -207,7 +266,7 @@ impl NetworkBuilder {
                 queues[shard_of(owner.index())].push_owned(at, owner.0, nodes.next_seq(owner), ev);
             };
             // Every shard holds a full copy of the link graph, so a link
-            // fault replicates into every queue under ONE (owner, seq)
+            // mutation replicates into every queue under ONE (owner, seq)
             // identity: each shard mutates its own copy at the same
             // instant, and only the owning shard's dispatch is observable
             // (see `Shard::dispatch`).
@@ -220,66 +279,131 @@ impl NetworkBuilder {
                     q.push_owned(at, ev.from.0, seq, Event::SetLink(Box::new(ev)));
                 }
             };
-            for fault in plan.faults() {
-                match *fault {
-                    PlannedFault::Kill { node, at } => {
-                        push(at, node, Event::Kill(node), &mut nodes, &mut queues);
+            // Link flaps and scheduled (mobility) changes of one edge
+            // interact — overlapping flaps must not end each other early,
+            // and a flap must restore to the base rate as of its *end*,
+            // not the pristine rate — so they are collected here and
+            // resolved edge by edge in the sweep below.
+            let mut flaps: Vec<(NodeId, NodeId, SimTime, SimTime, f64)> = Vec::new();
+            if let Some(plan) = &self.faults {
+                for fault in plan.faults() {
+                    match *fault {
+                        PlannedFault::Kill { node, at } => {
+                            push(at, node, Event::Kill(node), &mut nodes, &mut queues);
+                        }
+                        PlannedFault::CrashRestart { node, at, down_for } => {
+                            push(at, node, Event::Kill(node), &mut nodes, &mut queues);
+                            push(
+                                at + down_for,
+                                node,
+                                Event::Restart(node),
+                                &mut nodes,
+                                &mut queues,
+                            );
+                        }
+                        PlannedFault::LinkFlap {
+                            from,
+                            to,
+                            at,
+                            duration,
+                            ber,
+                        } => flaps.push((from, to, at, at + duration, ber)),
+                        PlannedFault::StorageFaults { node, at, failures } => {
+                            push(
+                                at,
+                                node,
+                                Event::InjectStorage { node, failures },
+                                &mut nodes,
+                                &mut queues,
+                            );
+                        }
                     }
-                    PlannedFault::CrashRestart { node, at, down_for } => {
-                        push(at, node, Event::Kill(node), &mut nodes, &mut queues);
-                        push(
-                            at + down_for,
-                            node,
-                            Event::Restart(node),
-                            &mut nodes,
-                            &mut queues,
-                        );
+                }
+            }
+            // Per-edge marks, swept in time order to resolve the BER each
+            // edge actually carries at each instant. The sort class makes
+            // same-instant resolution well-defined: base moves apply
+            // first, then flap starts, then flap ends — so a flap
+            // starting exactly as another ends keeps the edge faulted,
+            // and a flap ending at the instant of a base change restores
+            // to the new base.
+            #[derive(Clone, Copy)]
+            enum Mark {
+                /// A scheduled change of the edge's base rate.
+                Move(f64),
+                /// Flap `id` starts degrading the edge.
+                FlapStart(u32, f64),
+                /// Flap `id` expires.
+                FlapEnd(u32),
+            }
+            /// Marks on one edge: `(instant, sort class, mark)`.
+            type EdgeMarks = Vec<(SimTime, u8, Mark)>;
+            let mut timelines: BTreeMap<(u32, u32), EdgeMarks> = BTreeMap::new();
+            for c in &self.link_schedule {
+                timelines
+                    .entry((c.from.0, c.to.0))
+                    .or_default()
+                    .push((c.at, 0, Mark::Move(c.ber)));
+            }
+            for (id, &(from, to, start, end, ber)) in flaps.iter().enumerate() {
+                let marks = timelines.entry((from.0, to.0)).or_default();
+                marks.push((start, 1, Mark::FlapStart(id as u32, ber)));
+                marks.push((end, 2, Mark::FlapEnd(id as u32)));
+            }
+            for ((from, to), mut marks) in timelines {
+                let (from, to) = (NodeId(from), NodeId(to));
+                marks.sort_by_key(|&(at, class, _)| (at, class));
+                let mut base = self
+                    .links
+                    .ber(from, to)
+                    .expect("schedule and plan validated against this graph");
+                // Still-active flaps in start order: the most recently
+                // started one is the rate the edge carries.
+                let mut active: Vec<(u32, f64)> = Vec::new();
+                let mut applied = base;
+                let mut i = 0;
+                while i < marks.len() {
+                    let at = marks[i].0;
+                    let (mut started, mut ended) = (false, false);
+                    while i < marks.len() && marks[i].0 == at {
+                        match marks[i].2 {
+                            Mark::Move(ber) => base = ber,
+                            Mark::FlapStart(id, ber) => {
+                                active.push((id, ber));
+                                started = true;
+                            }
+                            Mark::FlapEnd(id) => {
+                                active.retain(|&(a, _)| a != id);
+                                ended = true;
+                            }
+                        }
+                        i += 1;
                     }
-                    PlannedFault::LinkFlap {
-                        from,
-                        to,
-                        at,
-                        duration,
-                        ber,
-                    } => {
-                        // Resolve the restore BER now, against the pristine
-                        // graph: overlapping flaps of one edge restore to
-                        // the configured rate, not to each other's faults.
-                        let original = self
-                            .links
-                            .ber(from, to)
-                            .expect("plan validated against this graph");
+                    let now = active.last().map_or(base, |&(_, ber)| ber);
+                    // Emit when the applied rate changes; flap starts
+                    // always emit (the degradation is observable even
+                    // when the rate happens not to move), interior flap
+                    // ends only when the surviving flap's rate differs.
+                    if now != applied || started {
+                        let kind = if !active.is_empty() {
+                            LinkEventKind::Fault
+                        } else if ended {
+                            LinkEventKind::Restore
+                        } else {
+                            LinkEventKind::Motion
+                        };
                         push_all(
                             at,
                             SetLinkEvent {
                                 from,
                                 to,
-                                ber,
-                                restore: false,
+                                ber: now,
+                                kind,
                             },
                             &mut nodes,
                             &mut queues,
                         );
-                        push_all(
-                            at + duration,
-                            SetLinkEvent {
-                                from,
-                                to,
-                                ber: original,
-                                restore: true,
-                            },
-                            &mut nodes,
-                            &mut queues,
-                        );
-                    }
-                    PlannedFault::StorageFaults { node, at, failures } => {
-                        push(
-                            at,
-                            node,
-                            Event::InjectStorage { node, failures },
-                            &mut nodes,
-                            &mut queues,
-                        );
+                        applied = now;
                     }
                 }
             }
@@ -1442,6 +1566,112 @@ mod failure_tests {
         );
         assert!(flapped > 0, "link recovered after the flap");
         assert_eq!(ber_after, 0.0, "original BER restored");
+    }
+
+    #[test]
+    fn overlapping_flaps_heal_only_when_the_last_one_expires() {
+        // Flap A holds 0 -> 1 during [2 s, 10 s); flap B overlaps it
+        // during [4 s, 6 s). When B expires the edge must stay degraded
+        // (A is still active); only A's end at 10 s restores the pristine
+        // rate. The old build-time resolution restored at 6 s, silently
+        // ending A four seconds early.
+        let plan = FaultPlan::seeded(3)
+            .link_flap(
+                NodeId(0),
+                NodeId(1),
+                SimTime::from_secs(2),
+                SimDuration::from_secs(8),
+                1.0,
+            )
+            .link_flap(
+                NodeId(0),
+                NodeId(1),
+                SimTime::from_secs(4),
+                SimDuration::from_secs(2),
+                1.0,
+            );
+        let mut net: Network<Chatty> = NetworkBuilder::new(pair(), 8)
+            .faults(plan)
+            .build(|_, _| Chatty { heard: 0 });
+        net.run_until(|_| false, SimTime::from_secs(7));
+        assert_eq!(
+            net.medium().links().ber(NodeId(0), NodeId(1)),
+            Some(1.0),
+            "edge must stay degraded after the inner flap expires"
+        );
+        net.run_until(|_| false, SimTime::from_secs(11));
+        assert_eq!(
+            net.medium().links().ber(NodeId(0), NodeId(1)),
+            Some(0.0),
+            "edge heals when the last active flap expires"
+        );
+    }
+
+    #[test]
+    fn link_schedule_drives_base_quality_and_flaps_restore_to_it() {
+        // The schedule moves 0 -> 1 to 0.4 at 3 s; a flap holds the edge
+        // at 1.0 during [5 s, 8 s). The flap must restore the *moved*
+        // base, not the pristine 0.0.
+        let schedule = vec![LinkChange {
+            at: SimTime::from_secs(3),
+            from: NodeId(0),
+            to: NodeId(1),
+            ber: 0.4,
+        }];
+        let plan = FaultPlan::seeded(4).link_flap(
+            NodeId(0),
+            NodeId(1),
+            SimTime::from_secs(5),
+            SimDuration::from_secs(3),
+            1.0,
+        );
+        let mut net: Network<Chatty> = NetworkBuilder::new(pair(), 9)
+            .link_schedule(schedule)
+            .faults(plan)
+            .build(|_, _| Chatty { heard: 0 });
+        net.run_until(|_| false, SimTime::from_secs(4));
+        assert_eq!(net.medium().links().ber(NodeId(0), NodeId(1)), Some(0.4));
+        net.run_until(|_| false, SimTime::from_secs(6));
+        assert_eq!(net.medium().links().ber(NodeId(0), NodeId(1)), Some(1.0));
+        net.run_until(|_| false, SimTime::from_secs(9));
+        assert_eq!(
+            net.medium().links().ber(NodeId(0), NodeId(1)),
+            Some(0.4),
+            "flap restores the scheduled base, not the pristine rate"
+        );
+    }
+
+    #[test]
+    fn try_build_rejects_bad_link_schedules_with_typed_errors() {
+        use crate::fault::FaultPlanError;
+        let change = |from: u32, to: u32| {
+            vec![LinkChange {
+                at: SimTime::from_secs(1),
+                from: NodeId(from),
+                to: NodeId(to),
+                ber: 0.5,
+            }]
+        };
+        let res: Result<Network<Chatty>, _> = NetworkBuilder::new(pair(), 5)
+            .link_schedule(change(0, 9))
+            .try_build(|_, _| Chatty { heard: 0 });
+        assert_eq!(
+            res.err(),
+            Some(FaultPlanError::UnknownNode {
+                node: NodeId(9),
+                nodes: 2,
+            })
+        );
+        let res: Result<Network<Chatty>, _> = NetworkBuilder::new(pair(), 5)
+            .link_schedule(change(1, 1))
+            .try_build(|_, _| Chatty { heard: 0 });
+        assert_eq!(
+            res.err(),
+            Some(FaultPlanError::MissingEdge {
+                from: NodeId(1),
+                to: NodeId(1),
+            })
+        );
     }
 
     #[test]

@@ -90,7 +90,21 @@ pub(crate) struct SetLinkEvent {
     pub to: NodeId,
     pub ber: f64,
     /// Only selects which observer event is emitted.
-    pub restore: bool,
+    pub kind: LinkEventKind,
+}
+
+/// Why a [`SetLinkEvent`] fires; selects the observer event only — the
+/// medium mutation is identical for all three.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum LinkEventKind {
+    /// A fault degraded the edge (a flap started, or an overlapping flap
+    /// expired leaving another one applied).
+    Fault,
+    /// The last active flap on the edge expired: back to the base rate.
+    Restore,
+    /// Node motion re-derived the edge's base quality (a scheduled
+    /// [`LinkChange`](crate::LinkChange), no fault involved).
+    Motion,
 }
 
 fn event_node(ev: &Event) -> Option<NodeId> {
@@ -343,7 +357,7 @@ impl<P: Protocol> Shard<P> {
                     from,
                     to,
                     ber,
-                    restore,
+                    kind,
                 } = *ev;
                 self.medium.set_link_ber(from, to, ber);
                 // Replicas on shards not owning `from` mutate their graph
@@ -352,10 +366,10 @@ impl<P: Protocol> Shard<P> {
                     return false;
                 }
                 let ber_ppb = (ber * 1e9).round() as u64;
-                let kind = if restore {
-                    EventKind::LinkRestored { to, ber_ppb }
-                } else {
-                    EventKind::LinkFault { to, ber_ppb }
+                let kind = match kind {
+                    LinkEventKind::Fault => EventKind::LinkFault { to, ber_ppb },
+                    LinkEventKind::Restore => EventKind::LinkRestored { to, ber_ppb },
+                    LinkEventKind::Motion => EventKind::LinkChanged { to, ber_ppb },
                 };
                 self.emit_obs(from, kind);
             }

@@ -194,6 +194,15 @@ pub enum EventKind {
         /// The restored bit-error rate, in parts per billion.
         ber_ppb: u64,
     },
+    /// Node motion re-derived the quality of the outgoing link to `to`
+    /// (a scheduled mobility re-link, not a fault): BER 1.0 means the
+    /// receiver moved out of range.
+    LinkChanged {
+        /// Receiving end of the re-derived link.
+        to: NodeId,
+        /// The new bit-error rate, in parts per billion.
+        ber_ppb: u64,
+    },
     /// The fault model armed transient EEPROM write failures on this node.
     StorageFault {
         /// How many upcoming packet writes will fail.

@@ -183,6 +183,11 @@ impl Observer for JsonlLogger {
                     .u("to", to.0 as u64)
                     .u("ber_ppb", ber_ppb);
             }),
+            EventKind::LinkChanged { to, ber_ppb } => self.line(ev, |o| {
+                o.s("ev", "link_change")
+                    .u("to", to.0 as u64)
+                    .u("ber_ppb", ber_ppb);
+            }),
             EventKind::StorageFault { failures } => self.line(ev, |o| {
                 o.s("ev", "storage_fault").u("failures", failures as u64);
             }),
@@ -288,12 +293,16 @@ mod tests {
                 to: NodeId(5),
                 ber_ppb: 1_000_000,
             },
+            EventKind::LinkChanged {
+                to: NodeId(5),
+                ber_ppb: 500_000_000,
+            },
             EventKind::StorageFault { failures: 2 },
         ];
         for k in kinds {
             log.on_event(&ev(k));
         }
-        assert_eq!(log.events(), 17);
+        assert_eq!(log.events(), 18);
         for line in log.as_str().lines() {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
             assert!(line.contains(r#""ev":"#), "{line}");

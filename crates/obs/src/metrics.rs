@@ -350,6 +350,7 @@ impl Observer for MetricsRegistry {
             EventKind::LinkFault { .. } => n.link_faults += 1,
             EventKind::StorageFault { failures } => n.storage_faults += failures as u64,
             EventKind::LinkRestored { .. }
+            | EventKind::LinkChanged { .. }
             | EventKind::Completed
             | EventKind::Parent { .. }
             | EventKind::BecameSender

@@ -72,13 +72,40 @@ pub fn per_to_ber(per: f64) -> f64 {
 /// nominal range the sigmoid is ≈1 and the edge would only waste simulator
 /// work; dropping it also defines the carrier-sense audibility set).
 pub fn sample_edge_ber(distance_ft: f64, range_ft: f64, rng: &mut SimRng) -> Option<f64> {
+    edge_ber_with_shadow(distance_ft, range_ft, sample_shadow(rng))
+}
+
+/// Draws the per-edge shadowing factor [`sample_edge_ber`] perturbs
+/// distance with (clamped below at 0.25 so a lucky draw cannot make an
+/// edge arbitrarily long-range).
+///
+/// Exposed so mobile topologies can fix an edge's shadowing once and
+/// re-evaluate only the geometry as nodes move (see
+/// [`edge_ber_with_shadow`]): link quality then tracks motion instead of
+/// flickering with fresh noise every re-link tick, and a zero-speed
+/// mobile scenario degenerates to a static one.
+pub fn sample_shadow(rng: &mut SimRng) -> f64 {
+    (1.0 + SHADOWING_SIGMA * gaussian(rng)).max(0.25)
+}
+
+/// The bit error rate of an edge at `distance_ft` under a fixed,
+/// already-drawn shadowing factor; `None` beyond the audible cutoff.
+/// [`sample_edge_ber`] is exactly `edge_ber_with_shadow(d, range,
+/// sample_shadow(rng))`.
+pub fn edge_ber_with_shadow(distance_ft: f64, range_ft: f64, shadow: f64) -> Option<f64> {
     assert!(distance_ft >= 0.0 && range_ft > 0.0, "bad geometry");
-    let shadow = 1.0 + SHADOWING_SIGMA * gaussian(rng);
-    let x = (distance_ft / range_ft) * shadow.max(0.25);
+    let x = (distance_ft / range_ft) * shadow;
     if x > 1.4 {
         return None;
     }
     Some(per_to_ber(packet_error_rate(x)))
+}
+
+/// The audible cutoff, in feet, of a transmitter with nominal range
+/// `range_ft` under shadowing factor `shadow`: the largest distance at
+/// which [`edge_ber_with_shadow`] still returns `Some`.
+pub fn audible_limit_ft(range_ft: f64, shadow: f64) -> f64 {
+    1.4 * range_ft / shadow
 }
 
 /// The bit error rate at which a full-length data frame still gets

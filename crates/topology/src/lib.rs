@@ -26,8 +26,11 @@
 
 mod builder;
 mod grid;
+mod irregular;
+pub mod mobility;
 mod placement;
 
 pub use builder::{Topology, TopologyBuilder};
 pub use grid::GridSpec;
+pub use mobility::{Field, LinkUpdate, MobileTopology, MobilityModel, MotionPlan};
 pub use placement::{Placement, Position};

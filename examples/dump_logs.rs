@@ -21,7 +21,8 @@
 //!
 //! The scenarios mirror `tests/determinism.rs`: MNP, Deluge, and the
 //! coded protocols (RLNC, XOR) on a 4×4 grid, with and without a fault
-//! plan, plus the capture-effect variant.
+//! plan, plus the capture-effect variant and a mobile (random-waypoint
+//! with churn) field.
 
 use mnp_repro::prelude::*;
 
@@ -93,6 +94,23 @@ fn main() {
         } else {
             scenario.run_mnp_observed(|_| {}, vec![Box::new(log.clone())])
         };
+        assert!(out.completed, "{name} did not complete");
+        let path = format!("{dir}/{name}.jsonl");
+        std::fs::write(&path, log.borrow().as_str()).expect("write log");
+        println!("wrote {path}");
+    }
+
+    // Mobile scenarios: motion (and churn) arrive through the same
+    // owner-keyed event path as faults, so the sharded merge must replay
+    // them byte-identically too.
+    for (name, seed) in [("mobile_seed2", 2), ("mobile_seed3", 3)] {
+        let log = Shared::new(JsonlLogger::new());
+        let out = MobileExperiment::new(9)
+            .seed(seed)
+            .speed(2.0)
+            .churn(1)
+            .shards(shards)
+            .run_mnp_observed(|_| {}, vec![Box::new(log.clone())]);
         assert!(out.completed, "{name} did not complete");
         let path = format!("{dir}/{name}.jsonl");
         std::fs::write(&path, log.borrow().as_str()).expect("write log");

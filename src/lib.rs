@@ -58,9 +58,9 @@ pub mod prelude {
         Deluge, DelugeConfig, Flood, FloodConfig, Moap, MoapConfig, Rlnc, RlncConfig, Xnp,
         XnpConfig, Xor, XorConfig,
     };
-    pub use mnp_experiments::{GridExperiment, RunOutcome};
+    pub use mnp_experiments::{FieldLayout, GridExperiment, MobileExperiment, RunOutcome};
     pub use mnp_net::{
-        Context, FaultPlan, Network, NetworkBuilder, PlannedFault, Protocol, WireMsg,
+        Context, FaultPlan, LinkChange, Network, NetworkBuilder, PlannedFault, Protocol, WireMsg,
     };
     pub use mnp_obs::{
         EventKind, InvariantMonitor, JsonlLogger, MetricsRegistry, ObsEvent, Observer, Shared,
@@ -69,7 +69,9 @@ pub mod prelude {
     pub use mnp_radio::{LinkTable, NodeId, PowerLevel};
     pub use mnp_sim::{SimDuration, SimRng, SimTime};
     pub use mnp_storage::{ImageLayout, PacketStore, ProgramId, ProgramImage};
-    pub use mnp_topology::{GridSpec, Placement, TopologyBuilder};
+    pub use mnp_topology::{
+        Field, GridSpec, MobilityModel, MotionPlan, Placement, TopologyBuilder,
+    };
     pub use mnp_trace::{MsgClass, RunTrace};
 }
 

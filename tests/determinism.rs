@@ -318,6 +318,41 @@ fn sharded_runs_give_byte_identical_event_logs() {
 }
 
 #[test]
+fn mobile_runs_replay_byte_identically_at_any_shard_count() {
+    // Motion is pre-materialized into a potential-edge topology plus a
+    // deterministic SetLink schedule, so a mobile scenario inherits the
+    // full determinism guarantee: same seed → same JSONL log, whatever
+    // the shard count, churn included.
+    let log_for = |seed: u64, shards: usize| {
+        let log = Shared::new(JsonlLogger::new());
+        let out = MobileExperiment::new(9)
+            .seed(seed)
+            .speed(2.0)
+            .churn(1)
+            .shards(shards)
+            .run_mnp_observed(|_| {}, vec![Box::new(log.clone())]);
+        assert!(out.completed, "{shards}-shard mobile run did not complete");
+        let text = log.borrow().as_str().to_owned();
+        text
+    };
+    let seq = log_for(2, 1);
+    assert!(!seq.is_empty());
+    assert!(
+        seq.contains("\"ev\":\"link_change\""),
+        "motion must surface as link_change events"
+    );
+    assert_eq!(log_for(2, 1), seq, "same seed must replay the same log");
+    for shards in [2, 4] {
+        assert_eq!(
+            log_for(2, shards),
+            seq,
+            "{shards}-shard mobile log diverged from the sequential kernel"
+        );
+    }
+    assert_ne!(log_for(3, 1), seq, "different seeds should differ");
+}
+
+#[test]
 fn seed_sweep_always_completes() {
     // Robustness across randomness: no seed in a small sweep may fail
     // coverage on a connected grid.
